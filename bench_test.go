@@ -1,0 +1,313 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5) at laptop scale, one Benchmark per artifact, plus micro-benchmarks of
+// the core components. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-artifact benchmarks report, via b.ReportMetric, the headline
+// number of the artifact they reproduce (e.g. PS3's average relative error
+// at the smallest budget for Fig 3) so that `-bench` output doubles as a
+// compact experimental record; the full harness with aligned tables is
+// cmd/ps3bench.
+package ps3
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ps3/internal/dataset"
+	"ps3/internal/experiments"
+	"ps3/internal/picker"
+)
+
+// benchCfg is deliberately small: each artifact regenerates in seconds. Use
+// cmd/ps3bench -rows/-parts/-train to scale toward paper-sized runs.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Rows:         6_000,
+		Parts:        40,
+		TrainQueries: 30,
+		TestQueries:  8,
+		Budgets:      []float64{0.05, 0.1, 0.2, 0.4},
+		Runs:         2,
+		Seed:         42,
+	}
+}
+
+// benchEnvs caches one trained environment per dataset across benchmarks so
+// that per-artifact benchmarks measure the experiment, not repeated setup.
+var benchEnvs sync.Map
+
+func benchEnv(b *testing.B, name string) *experiments.Env {
+	b.Helper()
+	if v, ok := benchEnvs.Load(name); ok {
+		return v.(*experiments.Env)
+	}
+	cfg := benchCfg()
+	ds, err := dataset.ByName(name, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := experiments.NewEnv(ds, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEnvs.Store(name, env)
+	return env
+}
+
+// --- Fig 3: error vs budget, four methods, four datasets ---
+
+func benchmarkFig3(b *testing.B, ds string) {
+	env := benchEnv(b, ds)
+	var last experiments.Curve
+	for i := 0; i < b.N; i++ {
+		last = env.ErrorCurve(experiments.MethodPS3, env.TestEx)
+	}
+	b.ReportMetric(last.Errs[0].AvgRelErr, "relerr@5%")
+}
+
+func BenchmarkFig3TPCH(b *testing.B)  { benchmarkFig3(b, "tpch") }
+func BenchmarkFig3TPCDS(b *testing.B) { benchmarkFig3(b, "tpcds") }
+func BenchmarkFig3Aria(b *testing.B)  { benchmarkFig3(b, "aria") }
+func BenchmarkFig3KDD(b *testing.B)   { benchmarkFig3(b, "kdd") }
+
+// --- Table 3: latency / compute speedups under the cluster cost model ---
+
+func BenchmarkTable3Speedups(b *testing.B) {
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunTable3(io.Discard, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].TotalComputeSpeedup, "compute-speedup@1%")
+	}
+}
+
+// --- Table 4: per-partition statistics storage ---
+
+func BenchmarkTable4StatsSize(b *testing.B) {
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunTable4(io.Discard, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].Total, "KB/part")
+	}
+}
+
+// --- Table 5: picker latency ---
+
+func BenchmarkTable5PickerLatency(b *testing.B) {
+	env := benchEnv(b, "aria")
+	ex := env.TestEx[0]
+	rng := rand.New(rand.NewSource(1))
+	n := env.DS.Table.NumParts() / 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Sys.Picker.Pick(ex.Query, ex.Features, n, rng)
+	}
+}
+
+// --- Fig 4: lesion study and factor analysis ---
+
+func BenchmarkFig4Lesion(b *testing.B) {
+	env := benchEnv(b, "aria")
+	var lesion experiments.Curve
+	for i := 0; i < b.N; i++ {
+		lesion = env.ErrorCurve(experiments.MethodNoCluster, env.TestEx)
+	}
+	b.ReportMetric(lesion.Errs[0].AvgRelErr, "relerr-w/o-cluster@5%")
+}
+
+// --- Fig 5: regressor feature importance by sketch family ---
+
+func BenchmarkFig5FeatureImportance(b *testing.B) {
+	env := benchEnv(b, "kdd")
+	var imp map[string]float64
+	for i := 0; i < b.N; i++ {
+		imp = experiments.CategoryImportance(env)
+	}
+	b.ReportMetric(imp["selectivity"], "selectivity-share-%")
+}
+
+// --- Fig 6: alternative data layouts ---
+
+func BenchmarkFig6AltLayout(b *testing.B) {
+	cfg := benchCfg()
+	ds, err := dataset.ByName("aria", dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alt, err := ds.WithLayout(ds.AltLayouts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	var env *experiments.Env
+	for i := 0; i < b.N; i++ {
+		env, err = experiments.NewEnv(alt, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	c := env.ErrorCurve(experiments.MethodPS3, env.TestEx)
+	b.ReportMetric(c.Errs[0].AvgRelErr, "relerr@5%")
+}
+
+// --- Fig 7: error by query selectivity ---
+
+func BenchmarkFig7SelectivityBreakdown(b *testing.B) {
+	cfg := benchCfg()
+	cfg.TestQueries = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 8: random layout + partition-count sweep ---
+
+func BenchmarkFig8PartitionCount(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 9 / Fig 11: generalization to TPC-H template queries ---
+
+func BenchmarkFig9Generalization(b *testing.B) {
+	cfg := benchCfg()
+	var res *experiments.GeneralizationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig9(io.Discard, cfg, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res != nil && len(res.Average) > 1 {
+		b.ReportMetric(res.Average[1].Errs[0].AvgRelErr, "ps3-relerr@5%")
+	}
+}
+
+// --- Fig 10: decay rate α sweep, learned vs oracle ---
+
+func BenchmarkFig10AlphaSweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig10(io.Discard, "kdd", cfg, []float64{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 12: biased vs unbiased exemplar estimator ---
+
+func BenchmarkFig12EstimatorComparison(b *testing.B) {
+	env := benchEnv(b, "tpcds")
+	var biased, unbiased experiments.Curve
+	for i := 0; i < b.N; i++ {
+		biased = env.ErrorCurve(experiments.MethodPS3, env.TestEx)
+		unbiased = env.ErrorCurve(experiments.MethodPS3Unbiased, env.TestEx)
+	}
+	b.ReportMetric(biased.Errs[0].AvgRelErr, "biased@5%")
+	b.ReportMetric(unbiased.Errs[0].AvgRelErr, "unbiased@5%")
+}
+
+// --- Table 6: clustering algorithm comparison ---
+
+func BenchmarkTable6ClusteringAlgos(b *testing.B) {
+	cfg := benchCfg()
+	cfg.TrainQueries = 16
+	cfg.TestQueries = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable6(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 7: feature-selection effect on clustering ---
+
+func BenchmarkTable7FeatureSelection(b *testing.B) {
+	cfg := benchCfg()
+	cfg.TrainQueries = 16
+	cfg.TestQueries = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable7(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 8: LSS strata-size sweep ---
+
+func BenchmarkTable8LSSStrata(b *testing.B) {
+	env := benchEnv(b, "kdd")
+	for i := 0; i < b.N; i++ {
+		if _, err := picker.TrainLSS(env.Sys.Stats, env.TrainEx, env.Cfg.Budgets, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+func BenchmarkStatsBuild(b *testing.B) {
+	cfg := benchCfg()
+	ds, err := dataset.ByName("aria", dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildStats(ds.Table, StatsOptions{GroupableCols: ds.Workload.GroupableCols}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureMatrix(b *testing.B) {
+	env := benchEnv(b, "aria")
+	q := env.TestEx[0].Query
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Sys.Stats.Features(q)
+	}
+}
+
+func BenchmarkEndToEndRun(b *testing.B) {
+	env := benchEnv(b, "aria")
+	q := env.TestEx[0].Query
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Sys.Run(q, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactRun(b *testing.B) {
+	env := benchEnv(b, "aria")
+	q := env.TestEx[0].Query
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Sys.RunExact(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

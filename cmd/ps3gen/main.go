@@ -1,0 +1,107 @@
+// Command ps3gen generates one of the synthetic evaluation datasets, prints
+// its schema, layout and summary-statistics profile, and optionally exports
+// the rows as CSV or the table in PS3's binary format:
+//
+//	ps3gen -dataset aria -rows 100000 -parts 200
+//	ps3gen -dataset tpch -csv /tmp/tpch.csv
+//	ps3gen -dataset kdd -out /tmp/kdd.ps3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ps3/internal/dataset"
+	"ps3/internal/stats"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "aria", "dataset: tpch|tpcds|aria|kdd")
+		rows   = flag.Int("rows", 0, "row count (0 = default 100000)")
+		parts  = flag.Int("parts", 0, "partition count (0 = default 200)")
+		seed   = flag.Int64("seed", 42, "generation seed")
+		layout = flag.String("layout", "", "comma-separated sort columns overriding the default layout ('random' shuffles)")
+		csvOut = flag.String("csv", "", "write rows as CSV to this path")
+		binOut = flag.String("out", "", "write the table in binary format to this path")
+	)
+	flag.Parse()
+
+	ds, err := dataset.ByName(*name, dataset.Config{Rows: *rows, Parts: *parts, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	if *layout != "" {
+		var cols []string
+		if *layout != "random" {
+			cols = strings.Split(*layout, ",")
+		}
+		ds, err = ds.WithLayout(cols)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	t := ds.Table
+
+	fmt.Printf("dataset %s: %d rows, %d partitions, layout %v\n", ds.Name, t.NumRows(), t.NumParts(), ds.SortCols)
+	fmt.Printf("storage: %.1f MB (%.1f KB/partition)\n",
+		float64(t.TotalBytes())/(1<<20), float64(t.TotalBytes())/float64(t.NumParts())/1024)
+	fmt.Println("\nschema:")
+	for _, c := range t.Schema.Cols {
+		pos := ""
+		if c.Positive {
+			pos = " (positive)"
+		}
+		fmt.Printf("  %-32s %s%s\n", c.Name, c.Kind, pos)
+	}
+
+	ts, err := stats.Build(t, stats.Options{GroupableCols: ds.Workload.GroupableCols})
+	if err != nil {
+		fatal(err)
+	}
+	sz := ts.Sizes()
+	fmt.Printf("\nsummary statistics: %.1f KB/partition (hist %.1f, hh %.1f, akmv %.1f, measures %.1f)\n",
+		sz.Total/1024, sz.Histogram/1024, sz.HH/1024, sz.AKMV/1024, sz.Measure/1024)
+	fmt.Printf("feature dimension: %d\n", ts.Space.Dim())
+	fmt.Printf("workload: %d groupable, %d predicate, %d aggregate columns\n",
+		len(ds.Workload.GroupableCols), len(ds.Workload.PredicateCols), len(ds.Workload.AggCols))
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		if err := t.WriteCSV(bw); err != nil {
+			fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote CSV to %s\n", *csvOut)
+	}
+	if *binOut != "" {
+		f, err := os.Create(*binOut)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := t.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote binary table to %s\n", *binOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ps3gen:", err)
+	os.Exit(1)
+}

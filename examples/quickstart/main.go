@@ -1,0 +1,102 @@
+// Quickstart: build a partitioned table, train PS3 on a workload, and
+// answer a query approximately by reading a fraction of the partitions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ps3/internal/core"
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+func main() {
+	// 1. Ingest: a sales table of (region, product, amount, day), appended
+	// in time order and sealed into 500-row partitions — the layout big-data
+	// clusters actually have (§2.1: data stays in ingest order).
+	schema := table.MustSchema(
+		table.Column{Name: "region", Kind: table.Categorical},
+		table.Column{Name: "product", Kind: table.Categorical},
+		table.Column{Name: "amount", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "day", Kind: table.Date},
+	)
+	b, err := table.NewBuilder(schema, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions := []string{"emea", "amer", "apac"}
+	products := []string{"anvil", "rocket", "tnt", "magnet"}
+	rng := rand.New(rand.NewSource(7))
+	for day := 0; day < 100; day++ {
+		for i := 0; i < 500; i++ {
+			region := regions[rng.Intn(len(regions))]
+			product := products[rng.Intn(len(products))]
+			// Sales grow over time and the rocket launches on day 60.
+			amount := (10 + rng.Float64()*90) * (1 + float64(day)/50)
+			if product == "rocket" && day < 60 {
+				amount = 0
+			}
+			num := []float64{0, 0, amount, float64(day)}
+			cat := []string{region, product, "", ""}
+			if err := b.Append(num, cat); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	tbl := b.Finish()
+	fmt.Printf("table: %d rows in %d partitions\n", tbl.NumRows(), tbl.NumParts())
+
+	// 2. Offline: build summary statistics and train the picker on the
+	// workload specification (which columns get grouped, filtered,
+	// aggregated).
+	wl := query.Workload{
+		GroupableCols: []string{"region", "product"},
+		PredicateCols: []string{"region", "product", "amount", "day"},
+		AggCols:       []string{"amount"},
+	}
+	sys, err := core.New(tbl, core.Options{Workload: wl, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := query.NewGenerator(wl, tbl, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training on 60 workload queries...")
+	if err := sys.Train(gen.SampleN(60), nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Online: revenue by product for the last month, reading 10% of
+	// partitions.
+	q := &query.Query{
+		GroupBy: []string{"product"},
+		Pred:    &query.Clause{Col: "day", Op: query.OpGe, Num: 70},
+		Aggs: []query.Aggregate{
+			{Kind: query.Sum, Expr: query.Col("amount"), Name: "revenue"},
+			{Kind: query.Count, Name: "orders"},
+		},
+	}
+	fmt.Printf("\nquery: %s\n\n", q)
+	exact, err := sys.RunExact(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := sys.Run(q, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s%14s%14s\n", "group", "exact", "approx(10%)")
+	for g, ev := range exact.Values {
+		av := approx.Values[g]
+		if av == nil {
+			av = make([]float64, len(ev))
+		}
+		fmt.Printf("%-24s%14.0f%14.0f\n", exact.Labels[g], ev[0], av[0])
+	}
+	fmt.Printf("\npartitions read: %d of %d\n", approx.PartsRead, tbl.NumParts())
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Exemplar is one selected representative: the index of the chosen point and
+// the weight it carries (its cluster's size, §4.2).
+type Exemplar struct {
+	Point  int
+	Weight float64
+}
+
+// medianVector computes the coordinate-wise median of the given points.
+func medianVector(points [][]float64, members []int) []float64 {
+	if len(members) == 0 {
+		return nil
+	}
+	dim := len(points[members[0]])
+	med := make([]float64, dim)
+	col := make([]float64, len(members))
+	for j := 0; j < dim; j++ {
+		for i, m := range members {
+			col[i] = points[m][j]
+		}
+		sort.Float64s(col)
+		n := len(col)
+		if n%2 == 1 {
+			med[j] = col[n/2]
+		} else {
+			med[j] = (col[n/2-1] + col[n/2]) / 2
+		}
+	}
+	return med
+}
+
+// MedianExemplars picks, for each cluster, the member closest to the
+// cluster's median feature vector — the paper's (biased, zero-variance)
+// estimator. Weights equal cluster sizes.
+func MedianExemplars(points [][]float64, a Assignment) []Exemplar {
+	var out []Exemplar
+	for _, members := range a.Members() {
+		if len(members) == 0 {
+			continue
+		}
+		med := medianVector(points, members)
+		best, bestD := members[0], sqDist(points[members[0]], med)
+		for _, m := range members[1:] {
+			if d := sqDist(points[m], med); d < bestD {
+				best, bestD = m, d
+			}
+		}
+		out = append(out, Exemplar{Point: best, Weight: float64(len(members))})
+	}
+	return out
+}
+
+// RandomExemplars picks a uniformly random member per cluster — the unbiased
+// estimator of Appendix D, analyzed as stratified SRSWoR with one draw per
+// stratum.
+func RandomExemplars(points [][]float64, a Assignment, rng *rand.Rand) []Exemplar {
+	var out []Exemplar
+	for _, members := range a.Members() {
+		if len(members) == 0 {
+			continue
+		}
+		pick := members[rng.Intn(len(members))]
+		out = append(out, Exemplar{Point: pick, Weight: float64(len(members))})
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import "math/rand"
+
+// GreedyFeatureSelection implements Algorithm 3 of the paper: a greedy
+// leave-one-out search for a set of feature kinds to *exclude* from
+// clustering. candidates are opaque feature-kind ids; eval returns the
+// clustering error achieved when the given set is excluded (lower is
+// better). The search greedily excludes features while the error improves,
+// restarting `restarts` times with shuffled candidate orders (10 in the
+// paper), and returns the best exclusion set found.
+func GreedyFeatureSelection(candidates []int, eval func(excluded map[int]bool) float64, restarts int, rng *rand.Rand) []int {
+	if restarts <= 0 {
+		restarts = 10
+	}
+	var best []int
+	bestErr := eval(map[int]bool{})
+
+	order := append([]int(nil), candidates...)
+	for r := 0; r < restarts; r++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var excluded []int
+		curErr := eval(toSet(excluded))
+		// Greedily remove features until a local optimum: keep sweeping the
+		// remaining candidates as long as any removal improves the error.
+		for improved := true; improved; {
+			improved = false
+			inSet := toSet(excluded)
+			for _, f := range order {
+				if inSet[f] {
+					continue
+				}
+				trial := append(append([]int(nil), excluded...), f)
+				if e := eval(toSet(trial)); e < curErr {
+					excluded = trial
+					inSet[f] = true
+					curErr = e
+					improved = true
+				}
+			}
+		}
+		if curErr < bestErr {
+			bestErr = curErr
+			best = excluded
+		}
+	}
+	return best
+}
+
+func toSet(ids []int) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}

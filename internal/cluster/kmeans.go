@@ -1,0 +1,149 @@
+// Package cluster implements the clustering-based sample selection of paper
+// §4.2: k-means++ and hierarchical agglomerative clustering (single and Ward
+// linkage) over normalized partition feature vectors, exemplar selection
+// (biased closest-to-median or unbiased random member, Appendix D), and the
+// greedy leave-one-out feature selection of Algorithm 3.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Assignment maps each input point to a cluster id in [0, K).
+type Assignment struct {
+	Labels []int
+	K      int
+}
+
+// Members returns the point indexes of each cluster.
+func (a Assignment) Members() [][]int {
+	out := make([][]int, a.K)
+	for i, l := range a.Labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k clusters with k-means++ seeding and Lloyd
+// iterations. Deterministic given rng. k is clamped to len(points).
+func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) Assignment {
+	n := len(points)
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return Assignment{Labels: make([]int, n), K: maxInt(k, 1)}
+	}
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	dim := len(points[0])
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(points[i], centers[0])
+	}
+	for len(centers) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var pick int
+		if sum <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * sum
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[pick]...)
+		centers = append(centers, c)
+		for i := range d2 {
+			if d := sqDist(points[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := sqDist(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centers.
+		counts := make([]int, k)
+		for c := range centers {
+			for j := 0; j < dim; j++ {
+				centers[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				centers[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centers[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centers[c], points[far])
+				labels[far] = c
+				changed = true
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centers[c] {
+				centers[c][j] *= inv
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Assignment{Labels: labels, K: k}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

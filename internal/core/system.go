@@ -1,0 +1,229 @@
+// Package core is PS3's public facade: it ties the statistics builder
+// (internal/stats), the partition picker (internal/picker) and the query
+// engine (internal/query) into the two-phase system of Fig 1:
+//
+//	sys, _ := core.New(tbl, core.Options{Workload: wl})
+//	_ = sys.Train(trainQueries, nil)             // offline, once per workload
+//	res, _ := sys.Run(q, 0.01)                   // online: read 1% of partitions
+//	fmt.Println(res.Values, res.PartsRead)
+//
+// Run replaces the table in the query plan with a weighted set of partition
+// choices; partial answers combine linearly per §2.4.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ps3/internal/picker"
+	"ps3/internal/query"
+	"ps3/internal/stats"
+	"ps3/internal/table"
+)
+
+// Options configures a System.
+type Options struct {
+	// Workload declares the aggregate functions and group-by columnsets the
+	// picker is trained for (§2.1 "Generalization").
+	Workload query.Workload
+	// Stats configures the statistics builder; GroupableCols is filled from
+	// the workload when empty.
+	Stats stats.Options
+	// Picker configures the partition picker.
+	Picker picker.Config
+	// TrainLSS additionally fits the LSS baseline during Train.
+	TrainLSS bool
+	// LSSBudgets are the budget fractions LSS sweeps strata sizes for.
+	LSSBudgets []float64
+	// Seed drives query-time randomness.
+	Seed int64
+}
+
+// System is a PS3 instance bound to one table and workload.
+type System struct {
+	Table *table.Table
+	Stats *stats.TableStats
+	Opts  Options
+
+	Picker *picker.Picker
+	LSS    *picker.LSS
+}
+
+// New builds the summary statistics for t (the offline "stats builder" pass
+// of Fig 1). Training is a separate step.
+func New(t *table.Table, opts Options) (*System, error) {
+	if len(opts.Stats.GroupableCols) == 0 {
+		opts.Stats.GroupableCols = opts.Workload.GroupableCols
+	}
+	ts, err := stats.Build(t, opts.Stats)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Table: t, Stats: ts, Opts: opts}, nil
+}
+
+// NewFromStats binds a System to a table using a pre-built statistics store
+// — typically one restored with stats.ReadStats, matching the paper's
+// deployment where sketches are computed at ingest and persisted separately
+// from the data. The store's schema must match the table's.
+func NewFromStats(t *table.Table, ts *stats.TableStats, opts Options) (*System, error) {
+	if len(ts.Parts) != t.NumParts() {
+		return nil, fmt.Errorf("core: stats cover %d partitions, table has %d", len(ts.Parts), t.NumParts())
+	}
+	if got, want := len(ts.Schema.Cols), len(t.Schema.Cols); got != want {
+		return nil, fmt.Errorf("core: stats schema has %d columns, table has %d", got, want)
+	}
+	for i, c := range ts.Schema.Cols {
+		if t.Schema.Cols[i] != c {
+			return nil, fmt.Errorf("core: stats column %d is %+v, table has %+v", i, c, t.Schema.Cols[i])
+		}
+	}
+	return &System{Table: t, Stats: ts, Opts: opts}, nil
+}
+
+// MakeExamples prepares training/evaluation examples for a set of queries:
+// feature matrices, exact per-partition answers, ground truth, and partition
+// contributions. This is the expensive offline pass (one full scan per
+// query); examples are reusable across training and evaluation.
+func (s *System) MakeExamples(queries []*query.Query) ([]picker.Example, error) {
+	examples := make([]picker.Example, 0, len(queries))
+	for _, q := range queries {
+		ex, err := s.MakeExample(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing query %q: %w", q, err)
+		}
+		examples = append(examples, ex)
+	}
+	return examples, nil
+}
+
+// MakeExample prepares one example.
+func (s *System) MakeExample(q *query.Query) (picker.Example, error) {
+	c, err := query.Compile(q, s.Table)
+	if err != nil {
+		return picker.Example{}, err
+	}
+	total, perPart := c.GroundTruth(s.Table)
+	return picker.Example{
+		Query:     q,
+		Compiled:  c,
+		Features:  s.Stats.Features(q),
+		Contrib:   picker.Contribution(c, perPart, total),
+		PerPart:   perPart,
+		TruthVals: c.FinalValues(total),
+	}, nil
+}
+
+// Train fits the picker (and optionally the LSS baseline) on the given
+// training queries. Pre-built examples may be passed to avoid recomputing
+// ground truth; pass nil to have Train build them.
+func (s *System) Train(queries []*query.Query, examples []picker.Example) error {
+	if examples == nil {
+		var err error
+		examples, err = s.MakeExamples(queries)
+		if err != nil {
+			return err
+		}
+	}
+	p, err := picker.Train(s.Stats, examples, s.Opts.Picker)
+	if err != nil {
+		return err
+	}
+	s.Picker = p
+	if s.Opts.TrainLSS {
+		budgets := s.Opts.LSSBudgets
+		if len(budgets) == 0 {
+			budgets = []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+		}
+		l, err := picker.TrainLSS(s.Stats, examples, budgets, s.Opts.Seed+7)
+		if err != nil {
+			return err
+		}
+		s.LSS = l
+	}
+	return nil
+}
+
+// Pick selects a weighted partition sample for q at the given budget
+// (fraction of partitions to read). The system must be trained.
+func (s *System) Pick(q *query.Query, budgetFrac float64) ([]query.WeightedPartition, error) {
+	if s.Picker == nil {
+		return nil, fmt.Errorf("core: system is not trained; call Train first")
+	}
+	features := s.Stats.Features(q)
+	n := budgetParts(budgetFrac, s.Table.NumParts())
+	rng := rand.New(rand.NewSource(s.Opts.Seed ^ int64(len(q.String()))))
+	return s.Picker.Pick(q, features, n, rng), nil
+}
+
+// Result is the outcome of an approximate query execution.
+type Result struct {
+	// Values maps group keys to final aggregate values.
+	Values map[string][]float64
+	// Labels maps group keys to human-readable group labels.
+	Labels map[string]string
+	// Selection is the weighted partition sample that was read.
+	Selection []query.WeightedPartition
+	// PartsRead and FracRead account the I/O spent.
+	PartsRead int
+	FracRead  float64
+}
+
+// Run picks partitions for q at the budget, reads them through the I/O
+// accountant, and returns the combined approximate answer.
+func (s *System) Run(q *query.Query, budgetFrac float64) (*Result, error) {
+	sel, err := s.Pick(q, budgetFrac)
+	if err != nil {
+		return nil, err
+	}
+	c, err := query.Compile(q, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ans := c.Estimate(s.Table, sel)
+	vals := c.FinalValues(ans)
+	labels := make(map[string]string, len(vals))
+	for g := range vals {
+		labels[g] = c.GroupLabel(g)
+	}
+	return &Result{
+		Values:    vals,
+		Labels:    labels,
+		Selection: sel,
+		PartsRead: len(sel),
+		FracRead:  float64(len(sel)) / float64(s.Table.NumParts()),
+	}, nil
+}
+
+// RunExact evaluates q exactly over every partition (the baseline a user
+// compares against).
+func (s *System) RunExact(q *query.Query) (*Result, error) {
+	c, err := query.Compile(q, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	total, _ := c.GroundTruth(s.Table)
+	vals := c.FinalValues(total)
+	labels := make(map[string]string, len(vals))
+	for g := range vals {
+		labels[g] = c.GroupLabel(g)
+	}
+	return &Result{
+		Values:    vals,
+		Labels:    labels,
+		PartsRead: s.Table.NumParts(),
+		FracRead:  1,
+	}, nil
+}
+
+// budgetParts converts a fractional budget to a partition count (≥1).
+func budgetParts(frac float64, total int) int {
+	n := int(frac*float64(total) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// Aria generates a stand-in for Microsoft's Aria production service request
+// log (§5.1.1, also used in DIFF and CoopStore). The paper highlights its
+// skew: "the most popular application version out of the 167 distinct
+// versions accounts for almost half of the dataset" — the generator
+// reproduces exactly that (Zipf over 167 versions with ~45% top mass).
+// The default layout sorts by TenantId; Fig 6's alternatives sort by
+// AppInfo_Version and PipelineInfo_IngestionTime.
+func Aria(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+
+	schema := table.MustSchema(
+		table.Column{Name: "records_received_count", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "records_tried_to_send_count", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "records_sent_count", Kind: table.Numeric},
+		table.Column{Name: "olsize", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "ol_w", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "infl", Kind: table.Numeric},
+		table.Column{Name: "PipelineInfo_IngestionTime", Kind: table.Date},
+		table.Column{Name: "TenantId", Kind: table.Categorical},
+		table.Column{Name: "AppInfo_Version", Kind: table.Categorical},
+		table.Column{Name: "UserInfo_TimeZone", Kind: table.Categorical},
+		table.Column{Name: "DeviceInfo_NetworkType", Kind: table.Categorical},
+	)
+	idx := func(name string) int { return schema.ColIndex(name) }
+
+	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	const nVersions = 167
+	// Version popularity: top version ≈ 45% of rows, geometric tail.
+	versionWeights := make([]float64, nVersions)
+	versionWeights[0] = 0.45
+	rest := 0.55
+	for i := 1; i < nVersions; i++ {
+		w := rest * 0.08 * math.Pow(0.925, float64(i-1))
+		versionWeights[i] = w
+	}
+	// Normalize.
+	var sum float64
+	for _, w := range versionWeights {
+		sum += w
+	}
+	cum := make([]float64, nVersions)
+	acc := 0.0
+	for i, w := range versionWeights {
+		acc += w / sum
+		cum[i] = acc
+	}
+	pickVersion := func() int {
+		r := rng.Float64()
+		lo, hi := 0, nVersions-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	nTenants := 200
+	tenantZ := newZipfer(rng, nTenants)
+	timezones := []string{"UTC", "PST", "EST", "CST", "MST", "GMT", "CET", "EET",
+		"IST", "JST", "KST", "AEST", "BRT", "ART", "WAT", "EAT", "MSK", "HKT",
+		"SGT", "NZST", "PDT", "EDT", "CDT", "MDT", "AKST", "HST", "AST", "NST",
+		"WET", "CAT"}
+	networks := []string{"Wifi", "Wired", "Cellular", "Unknown"}
+
+	num := make([]float64, schema.NumCols())
+	cat := make([]string, schema.NumCols())
+	const days = 30 // one month of telemetry
+	for r := 0; r < cfg.Rows; r++ {
+		tenant := tenantZ.rank()
+		// Tenants skew their version mix: big tenants run fresher builds,
+		// so the TenantId layout creates version-heterogeneous partitions.
+		var version int
+		if tenant < 5 && rng.Float64() < 0.7 {
+			version = rng.Intn(3)
+		} else {
+			version = pickVersion()
+		}
+		ingest := float64(rng.Intn(days * 24 * 60)) // minutes within the month
+
+		// Telemetry volumes: heavy-tailed, correlated with tenant size.
+		base := math.Exp(rng.NormFloat64()*1.2 + 3 - float64(tenant)*0.005)
+		received := math.Ceil(base) + 1
+		tried := math.Ceil(received * (0.7 + 0.3*rng.Float64()))
+		sent := math.Floor(tried * (0.8 + 0.2*rng.Float64()))
+		olsize := math.Exp(rng.NormFloat64()*0.8+5) + 1
+		olw := 1 + rng.Float64()*10
+		infl := rng.NormFloat64() * 2
+
+		num[idx("records_received_count")] = received
+		num[idx("records_tried_to_send_count")] = tried
+		num[idx("records_sent_count")] = sent
+		num[idx("olsize")] = olsize
+		num[idx("ol_w")] = olw
+		num[idx("infl")] = infl
+		num[idx("PipelineInfo_IngestionTime")] = ingest
+
+		cat[idx("TenantId")] = fmt.Sprintf("tenant-%03d", tenant)
+		cat[idx("AppInfo_Version")] = fmt.Sprintf("v2.%d.%d", version/10, version%10)
+		cat[idx("UserInfo_TimeZone")] = timezones[(tenant+version)%len(timezones)]
+		cat[idx("DeviceInfo_NetworkType")] = networks[rng.Intn(len(networks))]
+
+		if err := b.Append(num, cat); err != nil {
+			return nil, err
+		}
+	}
+
+	d := &Dataset{
+		Name:     "aria",
+		SortCols: []string{"TenantId"},
+		AltLayouts: [][]string{
+			{"AppInfo_Version"},
+			{"PipelineInfo_IngestionTime"},
+		},
+		Workload: query.Workload{
+			GroupableCols: []string{"AppInfo_Version", "UserInfo_TimeZone",
+				"DeviceInfo_NetworkType"},
+			PredicateCols: []string{"records_received_count", "records_sent_count",
+				"olsize", "PipelineInfo_IngestionTime", "TenantId", "AppInfo_Version",
+				"DeviceInfo_NetworkType", "UserInfo_TimeZone"},
+			AggCols: []string{"records_received_count", "records_tried_to_send_count",
+				"records_sent_count", "olsize", "ol_w"},
+		},
+	}
+	return finish(d, cfg, b)
+}

@@ -1,0 +1,137 @@
+// Package dataset provides seeded synthetic stand-ins for the paper's four
+// evaluation datasets (§5.1.1). The real datasets (multi-TB TPC-H with Zipf
+// skew on SCOPE, Microsoft's Aria production log, TPC-DS, KDD Cup'99) are
+// not reproducible here, so each generator recreates the properties the
+// evaluation depends on:
+//
+//   - matching column schemas (numeric + categorical mix),
+//   - Zipfian skew in categorical and measure columns (Aria's most popular
+//     app version covers ~half the dataset, as in the paper's §1 example),
+//   - correlations between the sort column and other columns so sorted
+//     layouts produce heterogeneous partitions,
+//   - the paper's default and alternative sort layouts (Fig 6, Fig 8).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// Config sizes a generated dataset.
+type Config struct {
+	// Rows is the total row count (default 100_000).
+	Rows int
+	// Parts is the partition count (default 200).
+	Parts int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 100_000
+	}
+	if c.Parts <= 0 {
+		c.Parts = 200
+	}
+	return c
+}
+
+// Dataset bundles a generated table with its workload specification and
+// layout metadata.
+type Dataset struct {
+	Name string
+	// Table is laid out by SortCols (the paper's default layout).
+	Table *table.Table
+	// Workload is the query distribution for training and testing.
+	Workload query.Workload
+	// SortCols is the default layout's sort key.
+	SortCols []string
+	// AltLayouts are the alternative sort keys evaluated in Fig 6.
+	AltLayouts [][]string
+	cfg        Config
+	raw        *table.Table // ingest-order table, pre-layout
+}
+
+// WithLayout returns a copy of the dataset re-sorted by the given columns
+// (or randomly shuffled if cols is empty) into the same partition count.
+func (d *Dataset) WithLayout(cols []string) (*Dataset, error) {
+	var t *table.Table
+	var err error
+	if len(cols) == 0 {
+		t, err = d.raw.Shuffled(d.cfg.Parts, rand.New(rand.NewSource(d.cfg.Seed+12345)))
+	} else {
+		t, err = d.raw.SortBy(d.cfg.Parts, cols...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := *d
+	out.Table = t
+	out.SortCols = cols
+	return &out, nil
+}
+
+// WithPartitions returns a copy of the dataset re-chunked to numParts
+// partitions keeping the current layout order (Fig 8's partition-count
+// sweep).
+func (d *Dataset) WithPartitions(numParts int) (*Dataset, error) {
+	t, err := d.Table.Repartition(numParts)
+	if err != nil {
+		return nil, err
+	}
+	out := *d
+	out.Table = t
+	out.cfg.Parts = numParts
+	return &out, nil
+}
+
+// ByName builds a dataset by its experiment name.
+func ByName(name string, cfg Config) (*Dataset, error) {
+	switch name {
+	case "tpch":
+		return TPCHStar(cfg)
+	case "tpcds":
+		return TPCDSStar(cfg)
+	case "aria":
+		return Aria(cfg)
+	case "kdd":
+		return KDD(cfg)
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q (want tpch|tpcds|aria|kdd)", name)
+	}
+}
+
+// Names lists the available datasets in the paper's order.
+func Names() []string { return []string{"tpch", "tpcds", "aria", "kdd"} }
+
+// finish sorts the raw ingest table into the default layout.
+func finish(d *Dataset, cfg Config, b *table.Builder) (*Dataset, error) {
+	raw := b.Finish()
+	d.raw = raw
+	d.cfg = cfg
+	t, err := raw.SortBy(cfg.Parts, d.SortCols...)
+	if err != nil {
+		return nil, err
+	}
+	d.Table = t
+	return d, nil
+}
+
+// zipfFloat draws a Zipf-distributed rank in [0, n) with skew ~1 (matching
+// the paper's skewed TPC-H generator) and deterministic behavior.
+type zipfer struct{ z *rand.Zipf }
+
+func newZipfer(rng *rand.Rand, n int) *zipfer {
+	if n < 1 {
+		n = 1
+	}
+	// s must be > 1 for math/rand's bounded Zipf; 1.07 approximates the
+	// paper's z=1 skew over finite domains.
+	return &zipfer{z: rand.NewZipf(rng, 1.07, 1, uint64(n-1))}
+}
+
+func (z *zipfer) rank() int { return int(z.z.Uint64()) }

@@ -1,0 +1,389 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ps3/internal/table"
+)
+
+func genAll(t *testing.T, cfg Config) map[string]*Dataset {
+	t.Helper()
+	out := make(map[string]*Dataset)
+	for _, name := range Names() {
+		d, err := ByName(name, cfg)
+		if err != nil {
+			t.Fatalf("generating %s: %v", name, err)
+		}
+		out[name] = d
+	}
+	return out
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus", Config{}); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}
+
+func TestNamesMatchPaperOrder(t *testing.T) {
+	want := []string{"tpch", "tpcds", "aria", "kdd"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeneratorsProduceRequestedShape(t *testing.T) {
+	cfg := Config{Rows: 5_000, Parts: 25, Seed: 1}
+	for name, d := range genAll(t, cfg) {
+		if got := d.Table.NumRows(); got != cfg.Rows {
+			t.Errorf("%s: %d rows, want %d", name, got, cfg.Rows)
+		}
+		if got := d.Table.NumParts(); got != cfg.Parts {
+			t.Errorf("%s: %d parts, want %d", name, got, cfg.Parts)
+		}
+		if d.Name == "" {
+			t.Errorf("%s: empty Name", name)
+		}
+		if len(d.SortCols) == 0 {
+			t.Errorf("%s: no default sort layout", name)
+		}
+		if len(d.AltLayouts) < 2 {
+			t.Errorf("%s: %d alternative layouts, want ≥2 (Fig 6 needs two)", name, len(d.AltLayouts))
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	cfg := Config{Rows: 2_000, Parts: 10, Seed: 42}
+	for _, name := range Names() {
+		a, err := ByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tablesEqual(a.Table, b.Table) {
+			t.Errorf("%s: same seed produced different tables", name)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, err := Aria(Config{Rows: 2_000, Parts: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Aria(Config{Rows: 2_000, Parts: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tablesEqual(a.Table, b.Table) {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func tablesEqual(a, b *table.Table) bool {
+	if a.NumParts() != b.NumParts() || a.NumRows() != b.NumRows() {
+		return false
+	}
+	for pi := range a.Parts {
+		pa, pb := a.Parts[pi], b.Parts[pi]
+		if pa.Rows() != pb.Rows() {
+			return false
+		}
+		for c := range a.Schema.Cols {
+			for r := 0; r < pa.Rows(); r++ {
+				if a.Schema.Cols[c].IsNumeric() {
+					if pa.Num[c][r] != pb.Num[c][r] {
+						return false
+					}
+				} else if a.Dict.Value(pa.Cat[c][r]) != b.Dict.Value(pb.Cat[c][r]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestDefaultLayoutIsSorted(t *testing.T) {
+	cfg := Config{Rows: 3_000, Parts: 15, Seed: 3}
+	for name, d := range genAll(t, cfg) {
+		ci := d.Table.Schema.ColIndex(d.SortCols[0])
+		if ci < 0 {
+			t.Fatalf("%s: sort column %q not in schema", name, d.SortCols[0])
+		}
+		col := d.Table.Schema.Col(ci)
+		var prev float64 = math.Inf(-1)
+		var prevStr string
+		for _, p := range d.Table.Parts {
+			for r := 0; r < p.Rows(); r++ {
+				if col.IsNumeric() {
+					v := p.Num[ci][r]
+					if v < prev {
+						t.Fatalf("%s: layout not sorted by %s at partition %d", name, col.Name, p.ID)
+					}
+					prev = v
+				} else {
+					v := d.Table.Dict.Value(p.Cat[ci][r])
+					if v < prevStr {
+						t.Fatalf("%s: layout not sorted by %s at partition %d", name, col.Name, p.ID)
+					}
+					prevStr = v
+				}
+			}
+		}
+	}
+}
+
+func TestWorkloadColumnsExistInSchema(t *testing.T) {
+	cfg := Config{Rows: 1_000, Parts: 5, Seed: 4}
+	for name, d := range genAll(t, cfg) {
+		all := append([]string{}, d.Workload.GroupableCols...)
+		all = append(all, d.Workload.PredicateCols...)
+		all = append(all, d.Workload.AggCols...)
+		for _, c := range all {
+			if d.Table.Schema.ColIndex(c) < 0 {
+				t.Errorf("%s: workload references unknown column %q", name, c)
+			}
+		}
+		// Agg columns must be numeric.
+		for _, c := range d.Workload.AggCols {
+			ci := d.Table.Schema.ColIndex(c)
+			if ci >= 0 && !d.Table.Schema.Col(ci).IsNumeric() {
+				t.Errorf("%s: agg column %q is categorical", name, c)
+			}
+		}
+	}
+}
+
+func TestAltLayoutColumnsExist(t *testing.T) {
+	cfg := Config{Rows: 1_000, Parts: 5, Seed: 5}
+	for name, d := range genAll(t, cfg) {
+		for _, layout := range d.AltLayouts {
+			for _, c := range layout {
+				if d.Table.Schema.ColIndex(c) < 0 {
+					t.Errorf("%s: alt layout references unknown column %q", name, c)
+				}
+			}
+		}
+	}
+}
+
+func TestWithLayoutPreservesRowsAndParts(t *testing.T) {
+	d, err := KDD(Config{Rows: 3_000, Parts: 12, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range d.AltLayouts {
+		alt, err := d.WithLayout(layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alt.Table.NumRows() != d.Table.NumRows() {
+			t.Fatalf("layout %v changed row count", layout)
+		}
+		if alt.Table.NumParts() != d.Table.NumParts() {
+			t.Fatalf("layout %v changed partition count", layout)
+		}
+	}
+}
+
+func TestWithLayoutEmptyShuffles(t *testing.T) {
+	d, err := Aria(Config{Rows: 2_000, Parts: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuf, err := d.WithLayout(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tablesEqual(d.Table, shuf.Table) {
+		t.Fatal("random layout identical to sorted layout")
+	}
+	if shuf.Table.NumRows() != d.Table.NumRows() {
+		t.Fatal("shuffle changed row count")
+	}
+}
+
+func TestWithPartitionsRechunks(t *testing.T) {
+	d, err := TPCHStar(Config{Rows: 3_000, Parts: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 30} {
+		re, err := d.WithPartitions(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Table.NumParts() != n {
+			t.Fatalf("WithPartitions(%d) produced %d parts", n, re.Table.NumParts())
+		}
+		if re.Table.NumRows() != d.Table.NumRows() {
+			t.Fatalf("WithPartitions(%d) changed row count", n)
+		}
+	}
+}
+
+func TestAriaSkewTopVersionDominates(t *testing.T) {
+	// §1: in Aria, the most popular app version accounts for ~half the data.
+	d, err := Aria(Config{Rows: 20_000, Parts: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := d.Table.Schema.ColIndex("AppInfo_Version")
+	if ci < 0 {
+		t.Fatal("AppInfo_Version missing")
+	}
+	counts := map[uint32]int{}
+	for _, p := range d.Table.Parts {
+		for _, c := range p.Cat[ci] {
+			counts[c]++
+		}
+	}
+	var freqs []int
+	for _, n := range counts {
+		freqs = append(freqs, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := float64(freqs[0]) / float64(d.Table.NumRows())
+	if top < 0.25 || top > 0.75 {
+		t.Fatalf("top app version covers %.0f%% of rows; want Zipf-dominant (~50%%)", top*100)
+	}
+	if len(counts) < 20 {
+		t.Fatalf("only %d distinct versions; want many (paper: 167)", len(counts))
+	}
+}
+
+func TestTPCHZipfSkewInQuantity(t *testing.T) {
+	d, err := TPCHStar(Config{Rows: 20_000, Parts: 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipfian generator: L_QUANTITY should be right-skewed — mean well above
+	// median.
+	ci := d.Table.Schema.ColIndex("L_QUANTITY")
+	var vals []float64
+	for _, p := range d.Table.Parts {
+		vals = append(vals, p.Num[ci]...)
+	}
+	sort.Float64s(vals)
+	med := vals[len(vals)/2]
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if mean <= med {
+		t.Fatalf("L_QUANTITY mean %v ≤ median %v; want right skew", mean, med)
+	}
+}
+
+func TestKDDBinaryColumnsAreBinary(t *testing.T) {
+	d, err := KDD(Config{Rows: 5_000, Parts: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KDD has flag-style binary numeric columns (the paper notes its small
+	// AKMV sizes come from binary columns). Find at least one.
+	binary := 0
+	for ci, col := range d.Table.Schema.Cols {
+		if !col.IsNumeric() {
+			continue
+		}
+		distinct := map[float64]bool{}
+		for _, p := range d.Table.Parts {
+			for _, v := range p.Num[ci] {
+				distinct[v] = true
+			}
+		}
+		if len(distinct) <= 2 {
+			binary++
+		}
+	}
+	if binary == 0 {
+		t.Fatal("KDD has no binary numeric columns; paper's Table 4 depends on them")
+	}
+}
+
+func TestSortColumnCorrelatesWithOtherColumns(t *testing.T) {
+	// The evaluation depends on sorted layouts producing heterogeneous
+	// partitions: per-partition means of some non-sort column must vary
+	// substantially more than under a random layout.
+	d, err := TPCHStar(Config{Rows: 10_000, Parts: 20, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuf, err := d.WithLayout(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := d.Table.Schema.ColIndex("O_ORDERDATE") // correlated with L_SHIPDATE
+	spread := func(t2 *table.Table) float64 {
+		var means []float64
+		for _, p := range t2.Parts {
+			var m float64
+			for _, v := range p.Num[ci] {
+				m += v
+			}
+			means = append(means, m/float64(len(p.Num[ci])))
+		}
+		var lo, hi = math.Inf(1), math.Inf(-1)
+		for _, m := range means {
+			lo = math.Min(lo, m)
+			hi = math.Max(hi, m)
+		}
+		return hi - lo
+	}
+	if s, r := spread(d.Table), spread(shuf.Table); s < 2*r {
+		t.Fatalf("sorted-layout spread %v not ≫ random-layout spread %v; partitions look homogeneous", s, r)
+	}
+}
+
+func TestTPCDSDatasetBasics(t *testing.T) {
+	d, err := TPCDSStar(Config{Rows: 4_000, Parts: 16, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Date-sorted layout per the paper (year, month, day).
+	if d.SortCols[0] != "d_year" {
+		t.Fatalf("TPCDS sort key = %v", d.SortCols)
+	}
+	// Promo key column exists for the Fig 6 alternative layout.
+	if d.Table.Schema.ColIndex("p_promo_sk") < 0 {
+		t.Fatal("p_promo_sk missing from TPCDS schema")
+	}
+}
+
+func TestZipferSmallN(t *testing.T) {
+	z := newZipfer(randNew(1), 1)
+	for i := 0; i < 10; i++ {
+		if r := z.rank(); r != 0 {
+			t.Fatalf("zipfer over n=1 returned %d", r)
+		}
+	}
+}
+
+func TestZipferSkew(t *testing.T) {
+	z := newZipfer(randNew(2), 100)
+	counts := make([]int, 100)
+	for i := 0; i < 10_000; i++ {
+		counts[z.rank()]++
+	}
+	if counts[0] < counts[50]*5 {
+		t.Fatalf("rank 0 count %d not ≫ rank 50 count %d; insufficient skew", counts[0], counts[50])
+	}
+}
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

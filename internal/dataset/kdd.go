@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// KDD generates a stand-in for the KDD Cup'99 network intrusion dataset
+// (§5.1.1): heavily skewed attack labels (smurf and neptune dominate, as in
+// the real data), per-attack traffic signatures (smurf = high count ICMP
+// echo floods, neptune = SYN floods with error rates ~1), and many binary
+// columns (keeping AKMV sketches small, as the paper notes for KDD in
+// Table 4). The default layout sorts by the `count` column; Fig 6's
+// alternatives sort by (service, flag) and (src_bytes, dst_bytes).
+func KDD(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+
+	schema := table.MustSchema(
+		table.Column{Name: "duration", Kind: table.Numeric},
+		table.Column{Name: "src_bytes", Kind: table.Numeric},
+		table.Column{Name: "dst_bytes", Kind: table.Numeric},
+		table.Column{Name: "wrong_fragment", Kind: table.Numeric},
+		table.Column{Name: "urgent", Kind: table.Numeric},
+		table.Column{Name: "hot", Kind: table.Numeric},
+		table.Column{Name: "num_failed_logins", Kind: table.Numeric},
+		table.Column{Name: "logged_in", Kind: table.Numeric},
+		table.Column{Name: "num_compromised", Kind: table.Numeric},
+		table.Column{Name: "root_shell", Kind: table.Numeric},
+		table.Column{Name: "num_root", Kind: table.Numeric},
+		table.Column{Name: "num_file_creations", Kind: table.Numeric},
+		table.Column{Name: "num_shells", Kind: table.Numeric},
+		table.Column{Name: "num_access_files", Kind: table.Numeric},
+		table.Column{Name: "is_guest_login", Kind: table.Numeric},
+		table.Column{Name: "count", Kind: table.Numeric},
+		table.Column{Name: "srv_count", Kind: table.Numeric},
+		table.Column{Name: "serror_rate", Kind: table.Numeric},
+		table.Column{Name: "srv_serror_rate", Kind: table.Numeric},
+		table.Column{Name: "rerror_rate", Kind: table.Numeric},
+		table.Column{Name: "srv_rerror_rate", Kind: table.Numeric},
+		table.Column{Name: "same_srv_rate", Kind: table.Numeric},
+		table.Column{Name: "diff_srv_rate", Kind: table.Numeric},
+		table.Column{Name: "dst_host_count", Kind: table.Numeric},
+		table.Column{Name: "dst_host_srv_count", Kind: table.Numeric},
+		table.Column{Name: "dst_host_same_srv_rate", Kind: table.Numeric},
+		table.Column{Name: "dst_host_diff_srv_rate", Kind: table.Numeric},
+		table.Column{Name: "protocol_type", Kind: table.Categorical},
+		table.Column{Name: "service", Kind: table.Categorical},
+		table.Column{Name: "flag", Kind: table.Categorical},
+		table.Column{Name: "label", Kind: table.Categorical},
+	)
+	idx := func(name string) int { return schema.ColIndex(name) }
+
+	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	services := []string{"http", "smtp", "ftp", "ftp_data", "telnet", "ecr_i",
+		"private", "domain_u", "pop_3", "finger", "auth", "eco_i", "other",
+		"ntp_u", "IRC", "X11", "ssh", "time", "domain", "login", "imap4",
+		"whois", "mtp", "gopher", "rje", "ctf", "uucp", "supdup", "link",
+		"systat", "discard", "echo", "daytime", "netstat", "nntp"}
+	flags := []string{"SF", "S0", "REJ", "RSTR", "RSTO", "SH", "S1", "S2", "S3", "OTH", "RSTOS0"}
+
+	// Attack mix roughly matching KDD'99: smurf ~57%, neptune ~22%,
+	// normal ~19%, tail of rare attacks.
+	type attack struct {
+		name string
+		p    float64
+	}
+	attacks := []attack{
+		{"smurf", 0.57}, {"neptune", 0.22}, {"normal", 0.19},
+		{"back", 0.004}, {"satan", 0.003}, {"ipsweep", 0.002},
+		{"portsweep", 0.002}, {"warezclient", 0.002}, {"teardrop", 0.002},
+		{"pod", 0.001}, {"nmap", 0.001}, {"guess_passwd", 0.0008},
+		{"buffer_overflow", 0.0005}, {"land", 0.0004}, {"warezmaster", 0.0004},
+		{"imap", 0.0003}, {"rootkit", 0.0002}, {"loadmodule", 0.0002},
+		{"ftp_write", 0.0002}, {"multihop", 0.0001}, {"phf", 0.0001},
+		{"perl", 0.0001}, {"spy", 0.0001},
+	}
+	var cumP []float64
+	acc := 0.0
+	for _, a := range attacks {
+		acc += a.p
+	}
+	run := 0.0
+	for _, a := range attacks {
+		run += a.p / acc
+		cumP = append(cumP, run)
+	}
+	pickAttack := func() attack {
+		r := rng.Float64()
+		for i, c := range cumP {
+			if r <= c {
+				return attacks[i]
+			}
+		}
+		return attacks[len(attacks)-1]
+	}
+
+	num := make([]float64, schema.NumCols())
+	cat := make([]string, schema.NumCols())
+	for r := 0; r < cfg.Rows; r++ {
+		for i := range num {
+			num[i] = 0
+		}
+		a := pickAttack()
+		var service, flag, proto string
+		switch a.name {
+		case "smurf":
+			// ICMP echo flood: high count, tiny fixed payloads.
+			proto, service, flag = "icmp", "ecr_i", "SF"
+			num[idx("count")] = 400 + float64(rng.Intn(112))
+			num[idx("srv_count")] = num[idx("count")]
+			num[idx("src_bytes")] = 1032
+			num[idx("same_srv_rate")] = 1
+			num[idx("dst_host_count")] = 255
+			num[idx("dst_host_srv_count")] = 255
+			num[idx("dst_host_same_srv_rate")] = 1
+		case "neptune":
+			// SYN flood: S0 flags, full error rates.
+			proto, service, flag = "tcp", services[rng.Intn(8)], "S0"
+			num[idx("count")] = 100 + float64(rng.Intn(400))
+			num[idx("srv_count")] = math.Ceil(num[idx("count")] * (0.02 + rng.Float64()*0.1))
+			num[idx("serror_rate")] = 1
+			num[idx("srv_serror_rate")] = 1
+			num[idx("diff_srv_rate")] = 0.05 + rng.Float64()*0.03
+			num[idx("dst_host_count")] = 255
+		case "normal":
+			proto = []string{"tcp", "tcp", "udp", "icmp"}[rng.Intn(4)]
+			service = services[rng.Intn(len(services))]
+			flag = "SF"
+			num[idx("duration")] = math.Floor(math.Exp(rng.NormFloat64()*1.5 + 1))
+			num[idx("src_bytes")] = math.Floor(math.Exp(rng.NormFloat64()*1.8 + 5))
+			num[idx("dst_bytes")] = math.Floor(math.Exp(rng.NormFloat64()*2 + 6))
+			num[idx("logged_in")] = 1
+			num[idx("count")] = 1 + float64(rng.Intn(30))
+			num[idx("srv_count")] = 1 + float64(rng.Intn(20))
+			num[idx("same_srv_rate")] = 0.7 + rng.Float64()*0.3
+			num[idx("dst_host_count")] = float64(1 + rng.Intn(255))
+			num[idx("dst_host_srv_count")] = float64(1 + rng.Intn(255))
+			num[idx("dst_host_same_srv_rate")] = rng.Float64()
+		default:
+			// Rare attacks: diverse signatures with suspicious fields set.
+			proto = []string{"tcp", "udp", "icmp"}[rng.Intn(3)]
+			service = services[rng.Intn(len(services))]
+			flag = flags[rng.Intn(len(flags))]
+			num[idx("duration")] = float64(rng.Intn(2000))
+			num[idx("src_bytes")] = math.Floor(math.Exp(rng.NormFloat64()*2.5 + 4))
+			num[idx("dst_bytes")] = math.Floor(math.Exp(rng.NormFloat64()*2.5 + 3))
+			num[idx("hot")] = float64(rng.Intn(10))
+			num[idx("num_failed_logins")] = float64(rng.Intn(5))
+			num[idx("num_compromised")] = float64(rng.Intn(4))
+			num[idx("root_shell")] = float64(rng.Intn(2))
+			num[idx("num_root")] = float64(rng.Intn(5))
+			num[idx("num_file_creations")] = float64(rng.Intn(4))
+			num[idx("num_shells")] = float64(rng.Intn(2))
+			num[idx("num_access_files")] = float64(rng.Intn(3))
+			num[idx("is_guest_login")] = float64(rng.Intn(2))
+			num[idx("wrong_fragment")] = float64(rng.Intn(3))
+			num[idx("urgent")] = float64(rng.Intn(2))
+			num[idx("count")] = 1 + float64(rng.Intn(100))
+			num[idx("srv_count")] = 1 + float64(rng.Intn(50))
+			num[idx("rerror_rate")] = rng.Float64()
+			num[idx("srv_rerror_rate")] = rng.Float64()
+			num[idx("same_srv_rate")] = rng.Float64()
+			num[idx("diff_srv_rate")] = rng.Float64()
+			num[idx("dst_host_count")] = float64(1 + rng.Intn(255))
+			num[idx("dst_host_srv_count")] = float64(1 + rng.Intn(255))
+			num[idx("dst_host_diff_srv_rate")] = rng.Float64()
+		}
+
+		cat[idx("protocol_type")] = proto
+		cat[idx("service")] = service
+		cat[idx("flag")] = flag
+		cat[idx("label")] = a.name
+
+		if err := b.Append(num, cat); err != nil {
+			return nil, err
+		}
+	}
+
+	d := &Dataset{
+		Name:     "kdd",
+		SortCols: []string{"count"},
+		AltLayouts: [][]string{
+			{"service", "flag"},
+			{"src_bytes", "dst_bytes"},
+		},
+		Workload: query.Workload{
+			GroupableCols: []string{"protocol_type", "service", "flag", "label"},
+			PredicateCols: []string{"duration", "src_bytes", "dst_bytes", "count",
+				"srv_count", "serror_rate", "same_srv_rate", "dst_host_count",
+				"logged_in", "protocol_type", "service", "flag", "label"},
+			AggCols: []string{"duration", "src_bytes", "dst_bytes", "count",
+				"srv_count", "dst_host_count", "dst_host_srv_count"},
+		},
+	}
+	return finish(d, cfg, b)
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// TPCDSStar generates the denormalized catalog_sales table of §5.1.1
+// (catalog_sales ⋈ item ⋈ date_dim ⋈ promotion ⋈ customer_demographics).
+// The default layout sorts by (d_year, d_moy, d_dom); Fig 6's alternatives
+// sort by p_promo_sk and cs_net_profit.
+func TPCDSStar(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	schema := table.MustSchema(
+		table.Column{Name: "cs_quantity", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cs_wholesale_cost", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cs_list_price", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cs_sales_price", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cs_ext_discount_amt", Kind: table.Numeric},
+		table.Column{Name: "cs_ext_sales_price", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cs_ext_wholesale_cost", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cs_ext_tax", Kind: table.Numeric},
+		table.Column{Name: "cs_coupon_amt", Kind: table.Numeric},
+		table.Column{Name: "cs_net_paid", Kind: table.Numeric},
+		table.Column{Name: "cs_net_profit", Kind: table.Numeric},
+		table.Column{Name: "p_promo_sk", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "p_cost", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "i_current_price", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "i_wholesale_cost", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "cd_dep_count", Kind: table.Numeric},
+		table.Column{Name: "cd_dep_employed_count", Kind: table.Numeric},
+		table.Column{Name: "d_year", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "d_moy", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "d_dom", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "d_date", Kind: table.Date},
+		table.Column{Name: "i_category", Kind: table.Categorical},
+		table.Column{Name: "i_class", Kind: table.Categorical},
+		table.Column{Name: "i_brand", Kind: table.Categorical},
+		table.Column{Name: "i_color", Kind: table.Categorical},
+		table.Column{Name: "i_size", Kind: table.Categorical},
+		table.Column{Name: "p_channel_email", Kind: table.Categorical},
+		table.Column{Name: "p_channel_tv", Kind: table.Categorical},
+		table.Column{Name: "p_channel_catalog", Kind: table.Categorical},
+		table.Column{Name: "cd_gender", Kind: table.Categorical},
+		table.Column{Name: "cd_marital_status", Kind: table.Categorical},
+		table.Column{Name: "cd_education_status", Kind: table.Categorical},
+		table.Column{Name: "cd_credit_rating", Kind: table.Categorical},
+		table.Column{Name: "d_day_name", Kind: table.Categorical},
+		table.Column{Name: "d_quarter_name", Kind: table.Categorical},
+	)
+	idx := func(name string) int { return schema.ColIndex(name) }
+
+	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	categories := []string{"Books", "Children", "Electronics", "Home", "Jewelry",
+		"Men", "Music", "Shoes", "Sports", "Women"}
+	classes := make([]string, 30)
+	for i := range classes {
+		classes[i] = fmt.Sprintf("class-%02d", i)
+	}
+	brandNames := make([]string, 50)
+	for i := range brandNames {
+		brandNames[i] = fmt.Sprintf("brand-%02d", i)
+	}
+	colors := []string{"almond", "azure", "beige", "black", "blue", "brown", "coral",
+		"cream", "cyan", "gold", "green", "grey", "indigo", "ivory", "khaki",
+		"lace", "lemon", "magenta", "maroon", "navy"}
+	sizes := []string{"petite", "small", "medium", "large", "extra large", "N/A"}
+	yn := []string{"Y", "N"}
+	genders := []string{"M", "F"}
+	marital := []string{"S", "M", "D", "W", "U"}
+	education := []string{"Primary", "Secondary", "College", "2 yr Degree",
+		"4 yr Degree", "Advanced Degree", "Unknown"}
+	credit := []string{"Low Risk", "Good", "High Risk", "Unknown"}
+	dayNames := []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+
+	nItems := maxI(cfg.Rows/60, 120)
+	itemZ := newZipfer(rng, nItems)
+	nPromos := 300
+	promoZ := newZipfer(rng, nPromos)
+
+	num := make([]float64, schema.NumCols())
+	cat := make([]string, schema.NumCols())
+	for r := 0; r < cfg.Rows; r++ {
+		// 5 years of daily sales; seasonality scales quantity.
+		day := rng.Intn(5 * 365)
+		year := 1998 + day/365
+		moy := (day%365)/31 + 1
+		dom := (day % 31) + 1
+		item := itemZ.rank()
+		promo := promoZ.rank() + 1
+
+		price := 1 + float64(item%300) + rng.Float64()*20
+		wholesale := price * (0.4 + 0.3*rng.Float64())
+		qty := float64(1 + rng.Intn(100))
+		salesPrice := price * (0.5 + 0.5*rng.Float64())
+		ext := salesPrice * qty
+		discount := 0.0
+		if rng.Float64() < 0.3 {
+			discount = ext * rng.Float64() * 0.3
+		}
+		coupon := 0.0
+		if promo < 40 && rng.Float64() < 0.5 { // popular promos carry coupons
+			coupon = ext * rng.Float64() * 0.2
+		}
+		tax := (ext - discount) * 0.08
+		netPaid := ext - discount - coupon
+		// Net profit correlates with item and promo: some items sell at a
+		// loss, giving Fig 6's cs_net_profit layout a near-uniform spread.
+		profit := netPaid - wholesale*qty
+
+		num[idx("cs_quantity")] = qty
+		num[idx("cs_wholesale_cost")] = wholesale
+		num[idx("cs_list_price")] = price
+		num[idx("cs_sales_price")] = salesPrice
+		num[idx("cs_ext_discount_amt")] = discount
+		num[idx("cs_ext_sales_price")] = ext
+		num[idx("cs_ext_wholesale_cost")] = wholesale * qty
+		num[idx("cs_ext_tax")] = tax
+		num[idx("cs_coupon_amt")] = coupon
+		num[idx("cs_net_paid")] = netPaid
+		num[idx("cs_net_profit")] = profit
+		num[idx("p_promo_sk")] = float64(promo)
+		num[idx("p_cost")] = 500 + float64(promo%100)*10
+		num[idx("i_current_price")] = price
+		num[idx("i_wholesale_cost")] = wholesale
+		num[idx("cd_dep_count")] = float64(rng.Intn(7))
+		num[idx("cd_dep_employed_count")] = float64(rng.Intn(5))
+		num[idx("d_year")] = float64(year)
+		num[idx("d_moy")] = float64(moy)
+		num[idx("d_dom")] = float64(dom)
+		num[idx("d_date")] = float64(day)
+
+		cat[idx("i_category")] = categories[item%len(categories)]
+		cat[idx("i_class")] = classes[item%len(classes)]
+		cat[idx("i_brand")] = brandNames[item%len(brandNames)]
+		cat[idx("i_color")] = colors[item%len(colors)]
+		cat[idx("i_size")] = sizes[item%len(sizes)]
+		cat[idx("p_channel_email")] = yn[promo%2]
+		cat[idx("p_channel_tv")] = yn[(promo/2)%2]
+		cat[idx("p_channel_catalog")] = yn[(promo/4)%2]
+		cat[idx("cd_gender")] = genders[rng.Intn(2)]
+		cat[idx("cd_marital_status")] = marital[rng.Intn(len(marital))]
+		cat[idx("cd_education_status")] = education[rng.Intn(len(education))]
+		cat[idx("cd_credit_rating")] = credit[rng.Intn(len(credit))]
+		cat[idx("d_day_name")] = dayNames[day%7]
+		cat[idx("d_quarter_name")] = fmt.Sprintf("%dQ%d", year, (moy-1)/3+1)
+
+		if err := b.Append(num, cat); err != nil {
+			return nil, err
+		}
+	}
+
+	d := &Dataset{
+		Name:     "tpcds",
+		SortCols: []string{"d_year", "d_moy", "d_dom"},
+		AltLayouts: [][]string{
+			{"p_promo_sk"},
+			{"cs_net_profit"},
+		},
+		Workload: query.Workload{
+			GroupableCols: []string{"i_category", "i_class", "cd_gender",
+				"cd_marital_status", "cd_education_status", "d_year", "d_day_name"},
+			PredicateCols: []string{"cs_quantity", "cs_sales_price", "cs_net_profit",
+				"p_promo_sk", "d_year", "d_moy", "d_date", "i_category", "i_color",
+				"cd_gender", "cd_education_status", "cd_credit_rating", "p_channel_email"},
+			AggCols: []string{"cs_quantity", "cs_ext_sales_price", "cs_net_paid",
+				"cs_net_profit", "cs_ext_discount_amt", "cs_coupon_amt"},
+		},
+	}
+	return finish(d, cfg, b)
+}

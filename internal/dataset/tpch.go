@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// TPCHStar generates the denormalized, Zipf-skewed TPC-H lineitem table of
+// §5.1.1 (scaled down). It reproduces the structural properties the paper's
+// evaluation relies on: dates spanning seven years (sorted layout by
+// L_SHIPDATE gives temporally homogeneous partitions), Zipf-skewed part and
+// supplier popularity, price columns correlated with quantity and part, and
+// derived year columns for TPC-H's group-bys.
+func TPCHStar(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	schema := table.MustSchema(
+		table.Column{Name: "L_QUANTITY", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "L_EXTENDEDPRICE", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "L_DISCOUNT", Kind: table.Numeric},
+		table.Column{Name: "L_TAX", Kind: table.Numeric},
+		table.Column{Name: "L_SHIPDATE", Kind: table.Date},
+		table.Column{Name: "L_COMMITDATE", Kind: table.Date},
+		table.Column{Name: "L_RECEIPTDATE", Kind: table.Date},
+		table.Column{Name: "O_ORDERDATE", Kind: table.Date},
+		table.Column{Name: "O_TOTALPRICE", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "P_RETAILPRICE", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "P_SIZE", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "S_ACCTBAL", Kind: table.Numeric},
+		table.Column{Name: "C_ACCTBAL", Kind: table.Numeric},
+		table.Column{Name: "L_YEAR", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "O_YEAR", Kind: table.Numeric, Positive: true},
+		table.Column{Name: "L_RETURNFLAG", Kind: table.Categorical},
+		table.Column{Name: "L_LINESTATUS", Kind: table.Categorical},
+		table.Column{Name: "L_SHIPMODE", Kind: table.Categorical},
+		table.Column{Name: "L_SHIPINSTRUCT", Kind: table.Categorical},
+		table.Column{Name: "O_ORDERSTATUS", Kind: table.Categorical},
+		table.Column{Name: "O_ORDERPRIORITY", Kind: table.Categorical},
+		table.Column{Name: "P_BRAND", Kind: table.Categorical},
+		table.Column{Name: "P_TYPE", Kind: table.Categorical},
+		table.Column{Name: "P_CONTAINER", Kind: table.Categorical},
+		table.Column{Name: "C_MKTSEGMENT", Kind: table.Categorical},
+		table.Column{Name: "N1_NAME", Kind: table.Categorical},
+		table.Column{Name: "N2_NAME", Kind: table.Categorical},
+		table.Column{Name: "R1_NAME", Kind: table.Categorical},
+		table.Column{Name: "R2_NAME", Kind: table.Categorical},
+	)
+	idx := func(name string) int { return schema.ColIndex(name) }
+
+	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	shipModes := []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	shipInstr := []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	nations := []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+		"KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	regionOf := func(nation int) string {
+		return []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}[nation%5]
+	}
+	brands := make([]string, 25)
+	for i := range brands {
+		brands[i] = fmt.Sprintf("Brand#%d%d", i/5+1, i%5+1)
+	}
+	types := make([]string, 30)
+	syl1 := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	syl2 := []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	for i := range types {
+		types[i] = syl1[i%6] + " " + syl2[i%5]
+	}
+	containers := make([]string, 20)
+	c1 := []string{"SM", "MED", "LG", "JUMBO", "WRAP"}
+	c2 := []string{"BOX", "BAG", "JAR", "CAN"}
+	for i := range containers {
+		containers[i] = c1[i%5] + " " + c2[i%4]
+	}
+
+	// Zipf-skewed latent entities: parts, suppliers, customers.
+	nParts := maxI(cfg.Rows/50, 100)
+	partZ := newZipfer(rng, nParts)
+	nCust := maxI(cfg.Rows/100, 50)
+	custZ := newZipfer(rng, nCust)
+
+	const days = 7 * 365 // 1992-01-01 .. 1998-12-31, like TPC-H
+	num := make([]float64, schema.NumCols())
+	cat := make([]string, schema.NumCols())
+	for r := 0; r < cfg.Rows; r++ {
+		// Order date uniform over the first ~6.5 years; ship within 120
+		// days, commit/receipt shortly after.
+		oDate := float64(rng.Intn(days - 150))
+		ship := oDate + 1 + float64(rng.Intn(120))
+		commit := ship + float64(rng.Intn(30)) - 15
+		receipt := ship + 1 + float64(rng.Intn(30))
+
+		part := partZ.rank()
+		cust := custZ.rank()
+		nation1 := cust % len(nations)
+		nation2 := part % len(nations)
+
+		qty := 1 + float64(rng.Intn(50))
+		// Retail price depends on the part (skewed part popularity induces
+		// price skew across partitions), grows ~12%/year, and spikes each
+		// December — so the shipdate layout yields partitions of very
+		// different importance to SUM aggregates, as in the paper's skewed
+		// TPC-H* generator.
+		growth := math.Pow(1.12, oDate/365)
+		dayOfYear := oDate - 365*math.Floor(oDate/365)
+		season := 1.0
+		if dayOfYear > 330 {
+			season = 1.8
+		}
+		retail := (900 + float64(part%2000) + rng.Float64()*100) * growth * season
+		extPrice := qty * retail / 10
+		disc := float64(rng.Intn(11)) / 100
+		tax := float64(rng.Intn(9)) / 100
+
+		// Return flag correlates with ship date, as in TPC-H: older lines
+		// are resolved (R/A), recent ones pending (N).
+		var retFlag, lineStatus, orderStatus string
+		if ship > float64(days-400) {
+			retFlag, lineStatus, orderStatus = "N", "O", "O"
+		} else if rng.Float64() < 0.25 {
+			retFlag, lineStatus, orderStatus = "R", "F", "F"
+		} else {
+			retFlag, lineStatus, orderStatus = "A", "F", "F"
+		}
+
+		num[idx("L_QUANTITY")] = qty
+		num[idx("L_EXTENDEDPRICE")] = extPrice
+		num[idx("L_DISCOUNT")] = disc
+		num[idx("L_TAX")] = tax
+		num[idx("L_SHIPDATE")] = ship
+		num[idx("L_COMMITDATE")] = commit
+		num[idx("L_RECEIPTDATE")] = receipt
+		num[idx("O_ORDERDATE")] = oDate
+		num[idx("O_TOTALPRICE")] = extPrice * (1 + rng.Float64()*3)
+		num[idx("P_RETAILPRICE")] = retail
+		num[idx("P_SIZE")] = 1 + float64(part%50)
+		num[idx("S_ACCTBAL")] = -999 + rng.Float64()*10998
+		num[idx("C_ACCTBAL")] = -999 + rng.Float64()*10998
+		num[idx("L_YEAR")] = 1992 + math.Floor(ship/365)
+		num[idx("O_YEAR")] = 1992 + math.Floor(oDate/365)
+
+		cat[idx("L_RETURNFLAG")] = retFlag
+		cat[idx("L_LINESTATUS")] = lineStatus
+		cat[idx("L_SHIPMODE")] = shipModes[rng.Intn(len(shipModes))]
+		cat[idx("L_SHIPINSTRUCT")] = shipInstr[rng.Intn(len(shipInstr))]
+		cat[idx("O_ORDERSTATUS")] = orderStatus
+		cat[idx("O_ORDERPRIORITY")] = priorities[rng.Intn(len(priorities))]
+		cat[idx("P_BRAND")] = brands[part%len(brands)]
+		cat[idx("P_TYPE")] = types[part%len(types)]
+		cat[idx("P_CONTAINER")] = containers[part%len(containers)]
+		cat[idx("C_MKTSEGMENT")] = segments[cust%len(segments)]
+		cat[idx("N1_NAME")] = nations[nation1]
+		cat[idx("N2_NAME")] = nations[nation2]
+		cat[idx("R1_NAME")] = regionOf(nation1)
+		cat[idx("R2_NAME")] = regionOf(nation2)
+
+		if err := b.Append(num, cat); err != nil {
+			return nil, err
+		}
+	}
+
+	d := &Dataset{
+		Name:     "tpch",
+		SortCols: []string{"L_SHIPDATE"},
+		AltLayouts: [][]string{
+			{"O_ORDERDATE"},
+			{"P_RETAILPRICE"},
+		},
+		Workload: query.Workload{
+			GroupableCols: []string{"L_RETURNFLAG", "L_LINESTATUS", "L_SHIPMODE",
+				"O_ORDERPRIORITY", "C_MKTSEGMENT", "N1_NAME", "N2_NAME", "R1_NAME",
+				"L_YEAR", "O_YEAR"},
+			PredicateCols: []string{"L_QUANTITY", "L_DISCOUNT", "L_SHIPDATE", "L_COMMITDATE",
+				"O_ORDERDATE", "P_SIZE", "P_RETAILPRICE", "L_SHIPMODE", "P_BRAND",
+				"C_MKTSEGMENT", "N1_NAME", "R1_NAME", "P_CONTAINER"},
+			AggCols: []string{"L_QUANTITY", "L_EXTENDEDPRICE", "L_DISCOUNT", "L_TAX",
+				"O_TOTALPRICE", "P_RETAILPRICE"},
+		},
+	}
+	return finish(d, cfg, b)
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ps3/internal/query"
+)
+
+// TPCHTemplate is one TPC-H query template adapted to the denormalized
+// TPCH* schema and PS3's query scope (§5.5.4 / Appendix C.3). Each call to
+// Instantiate draws fresh random substitution parameters, matching the
+// paper's "20 random test queries per TPC-H query template".
+type TPCHTemplate struct {
+	Name        string
+	Instantiate func(rng *rand.Rand) *query.Query
+}
+
+// TPCHTemplates returns the ten templates used in the generalization test
+// (Q1,5,6,7,8,9,12,14,17,18,19 minus Q4 which needs the orders table; Q8 and
+// Q14 use the CASE-as-filtered-aggregate rewrite; multiplicative aggregates
+// are linearized to stay in scope).
+func TPCHTemplates() []TPCHTemplate {
+	nations := []string{"FRANCE", "GERMANY", "INDIA", "JAPAN", "BRAZIL", "CANADA",
+		"CHINA", "RUSSIA", "EGYPT", "PERU"}
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	modes := []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	brand := func(rng *rand.Rand) string {
+		return fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)
+	}
+	day := func(rng *rand.Rand, loYear, hiYear int) float64 {
+		y := loYear + rng.Intn(hiYear-loYear+1)
+		return float64((y-1992)*365 + rng.Intn(365))
+	}
+
+	return []TPCHTemplate{
+		{Name: "Q1", Instantiate: func(rng *rand.Rand) *query.Query {
+			cutoff := float64(6*365 + rng.Intn(300))
+			return &query.Query{
+				GroupBy: []string{"L_RETURNFLAG", "L_LINESTATUS"},
+				Pred:    &query.Clause{Col: "L_SHIPDATE", Op: query.OpLe, Num: cutoff},
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_QUANTITY"), Name: "sum_qty"},
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "sum_base_price"},
+					{Kind: query.Avg, Expr: query.Col("L_DISCOUNT"), Name: "avg_disc"},
+					{Kind: query.Count, Name: "count_order"},
+				},
+			}
+		}},
+		{Name: "Q5", Instantiate: func(rng *rand.Rand) *query.Query {
+			lo := day(rng, 1993, 1996)
+			return &query.Query{
+				GroupBy: []string{"N1_NAME"},
+				Pred: query.NewAnd(
+					&query.Clause{Col: "R1_NAME", Op: query.OpEq, Strs: []string{regions[rng.Intn(len(regions))]}},
+					&query.Clause{Col: "O_ORDERDATE", Op: query.OpGe, Num: lo},
+					&query.Clause{Col: "O_ORDERDATE", Op: query.OpLt, Num: lo + 365},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "revenue"},
+				},
+			}
+		}},
+		{Name: "Q6", Instantiate: func(rng *rand.Rand) *query.Query {
+			lo := day(rng, 1993, 1996)
+			disc := 0.02 + float64(rng.Intn(7))/100
+			return &query.Query{
+				Pred: query.NewAnd(
+					&query.Clause{Col: "L_SHIPDATE", Op: query.OpGe, Num: lo},
+					&query.Clause{Col: "L_SHIPDATE", Op: query.OpLt, Num: lo + 365},
+					&query.Clause{Col: "L_DISCOUNT", Op: query.OpGe, Num: disc - 0.01},
+					&query.Clause{Col: "L_DISCOUNT", Op: query.OpLe, Num: disc + 0.01},
+					&query.Clause{Col: "L_QUANTITY", Op: query.OpLt, Num: float64(24 + rng.Intn(10))},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "revenue"},
+				},
+			}
+		}},
+		{Name: "Q7", Instantiate: func(rng *rand.Rand) *query.Query {
+			n1 := nations[rng.Intn(len(nations))]
+			n2 := nations[rng.Intn(len(nations))]
+			for n2 == n1 {
+				n2 = nations[rng.Intn(len(nations))]
+			}
+			return &query.Query{
+				GroupBy: []string{"N1_NAME", "N2_NAME", "L_YEAR"},
+				Pred: query.NewAnd(
+					query.NewOr(
+						query.NewAnd(
+							&query.Clause{Col: "N1_NAME", Op: query.OpEq, Strs: []string{n1}},
+							&query.Clause{Col: "N2_NAME", Op: query.OpEq, Strs: []string{n2}},
+						),
+						query.NewAnd(
+							&query.Clause{Col: "N1_NAME", Op: query.OpEq, Strs: []string{n2}},
+							&query.Clause{Col: "N2_NAME", Op: query.OpEq, Strs: []string{n1}},
+						),
+					),
+					&query.Clause{Col: "L_SHIPDATE", Op: query.OpGe, Num: float64(3 * 365)},
+					&query.Clause{Col: "L_SHIPDATE", Op: query.OpLe, Num: float64(5 * 365)},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "revenue"},
+				},
+			}
+		}},
+		{Name: "Q8", Instantiate: func(rng *rand.Rand) *query.Query {
+			nation := nations[rng.Intn(len(nations))]
+			region := regions[rng.Intn(len(regions))]
+			// Market-share rewrite: filtered SUM over the nation vs total
+			// SUM, grouped by order year (CASE → aggregate over predicate).
+			return &query.Query{
+				GroupBy: []string{"O_YEAR"},
+				Pred: query.NewAnd(
+					&query.Clause{Col: "R1_NAME", Op: query.OpEq, Strs: []string{region}},
+					&query.Clause{Col: "O_ORDERDATE", Op: query.OpGe, Num: float64(3 * 365)},
+					&query.Clause{Col: "O_ORDERDATE", Op: query.OpLe, Num: float64(5 * 365)},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "total_volume"},
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"),
+						Filter: &query.Clause{Col: "N2_NAME", Op: query.OpEq, Strs: []string{nation}},
+						Name:   "nation_volume"},
+				},
+			}
+		}},
+		{Name: "Q9", Instantiate: func(rng *rand.Rand) *query.Query {
+			// Profit per supplier nation and year; P_TYPE LIKE '%X%'
+			// approximated by an IN over matching generated types.
+			part := []string{"STANDARD ANODIZED", "SMALL BURNISHED", "MEDIUM PLATED",
+				"LARGE POLISHED", "ECONOMY BRUSHED", "PROMO ANODIZED"}[rng.Intn(6)]
+			return &query.Query{
+				GroupBy: []string{"N2_NAME", "O_YEAR"},
+				Pred:    &query.Clause{Col: "P_TYPE", Op: query.OpEq, Strs: []string{part}},
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE").Sub(query.Col("L_QUANTITY")), Name: "profit"},
+				},
+			}
+		}},
+		{Name: "Q12", Instantiate: func(rng *rand.Rand) *query.Query {
+			m1 := modes[rng.Intn(len(modes))]
+			m2 := modes[rng.Intn(len(modes))]
+			for m2 == m1 {
+				m2 = modes[rng.Intn(len(modes))]
+			}
+			lo := day(rng, 1993, 1996)
+			highPrio := &query.Clause{Col: "O_ORDERPRIORITY", Op: query.OpIn,
+				Strs: []string{"1-URGENT", "2-HIGH"}}
+			return &query.Query{
+				GroupBy: []string{"L_SHIPMODE"},
+				Pred: query.NewAnd(
+					&query.Clause{Col: "L_SHIPMODE", Op: query.OpIn, Strs: []string{m1, m2}},
+					&query.Clause{Col: "L_RECEIPTDATE", Op: query.OpGe, Num: lo},
+					&query.Clause{Col: "L_RECEIPTDATE", Op: query.OpLt, Num: lo + 365},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Count, Filter: highPrio, Name: "high_line_count"},
+					{Kind: query.Count, Filter: &query.Not{Child: highPrio}, Name: "low_line_count"},
+				},
+			}
+		}},
+		{Name: "Q14", Instantiate: func(rng *rand.Rand) *query.Query {
+			lo := day(rng, 1993, 1996)
+			promoTypes := []string{"PROMO ANODIZED", "PROMO BURNISHED", "PROMO PLATED",
+				"PROMO POLISHED", "PROMO BRUSHED"}
+			return &query.Query{
+				Pred: query.NewAnd(
+					&query.Clause{Col: "L_SHIPDATE", Op: query.OpGe, Num: lo},
+					&query.Clause{Col: "L_SHIPDATE", Op: query.OpLt, Num: lo + 30},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"),
+						Filter: &query.Clause{Col: "P_TYPE", Op: query.OpIn, Strs: promoTypes},
+						Name:   "promo_revenue"},
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "total_revenue"},
+				},
+			}
+		}},
+		{Name: "Q17", Instantiate: func(rng *rand.Rand) *query.Query {
+			containers := []string{"SM BOX", "MED BAG", "LG JAR", "JUMBO CAN", "WRAP BOX"}
+			return &query.Query{
+				Pred: query.NewAnd(
+					&query.Clause{Col: "P_BRAND", Op: query.OpEq, Strs: []string{brand(rng)}},
+					&query.Clause{Col: "P_CONTAINER", Op: query.OpEq,
+						Strs: []string{containers[rng.Intn(len(containers))]}},
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Avg, Expr: query.Col("L_QUANTITY"), Name: "avg_qty"},
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "avg_yearly_base"},
+				},
+			}
+		}},
+		{Name: "Q18", Instantiate: func(rng *rand.Rand) *query.Query {
+			// Large-order customers, flattened: totals per market segment
+			// over high-quantity lines.
+			return &query.Query{
+				GroupBy: []string{"C_MKTSEGMENT"},
+				Pred:    &query.Clause{Col: "L_QUANTITY", Op: query.OpGt, Num: float64(42 + rng.Intn(8))},
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_QUANTITY"), Name: "sum_qty"},
+					{Kind: query.Sum, Expr: query.Col("O_TOTALPRICE"), Name: "sum_total"},
+				},
+			}
+		}},
+		{Name: "Q19", Instantiate: func(rng *rand.Rand) *query.Query {
+			// Three brand/container/quantity disjuncts — 21 clauses, which
+			// triggers PS3's complex-predicate fallback (Appendix B.1).
+			disjunct := func(b string, qlo float64, containers []string, sizeHi float64) query.Pred {
+				return query.NewAnd(
+					&query.Clause{Col: "P_BRAND", Op: query.OpEq, Strs: []string{b}},
+					&query.Clause{Col: "P_CONTAINER", Op: query.OpIn, Strs: containers},
+					&query.Clause{Col: "L_QUANTITY", Op: query.OpGe, Num: qlo},
+					&query.Clause{Col: "L_QUANTITY", Op: query.OpLe, Num: qlo + 10},
+					&query.Clause{Col: "P_SIZE", Op: query.OpGe, Num: 1},
+					&query.Clause{Col: "P_SIZE", Op: query.OpLe, Num: sizeHi},
+					&query.Clause{Col: "L_SHIPMODE", Op: query.OpIn, Strs: []string{"AIR", "REG AIR"}},
+				)
+			}
+			return &query.Query{
+				Pred: query.NewOr(
+					disjunct(brand(rng), float64(1+rng.Intn(10)), []string{"SM BOX", "SM BAG", "SM JAR", "SM CAN"}, 5),
+					disjunct(brand(rng), float64(10+rng.Intn(10)), []string{"MED BAG", "MED BOX", "MED JAR", "MED CAN"}, 10),
+					disjunct(brand(rng), float64(20+rng.Intn(10)), []string{"LG BOX", "LG BAG", "LG JAR", "LG CAN"}, 15),
+				),
+				Aggs: []query.Aggregate{
+					{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE"), Name: "revenue"},
+				},
+			}
+		}},
+	}
+}

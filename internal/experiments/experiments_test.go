@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"ps3/internal/dataset"
+	"ps3/internal/metrics"
+)
+
+// tinyCfg keeps experiment smoke tests fast: the point is exercising every
+// driver end-to-end, not statistical power.
+func tinyCfg() Config {
+	return Config{
+		Rows:         2_000,
+		Parts:        20,
+		TrainQueries: 12,
+		TestQueries:  4,
+		Budgets:      []float64{0.1, 0.3, 0.6},
+		Runs:         1,
+		Seed:         7,
+	}
+}
+
+func tinyEnv(t *testing.T, ds string) *Env {
+	t.Helper()
+	d, err := dataset.ByName(ds, dataset.Config{Rows: 2_000, Parts: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(d, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Rows <= 0 || c.Parts <= 0 || c.TrainQueries <= 0 || c.TestQueries <= 0 ||
+		len(c.Budgets) == 0 || c.Runs <= 0 {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+}
+
+func TestNewEnvTrainsSystem(t *testing.T) {
+	env := tinyEnv(t, "aria")
+	if env.Sys.Picker == nil {
+		t.Fatal("environment picker not trained")
+	}
+	if env.Sys.LSS == nil {
+		t.Fatal("LSS baseline not trained")
+	}
+	if len(env.TrainEx) != 12 {
+		t.Fatalf("%d train examples, want 12", len(env.TrainEx))
+	}
+	if len(env.TestEx) != 4 {
+		t.Fatalf("%d test examples, want 4", len(env.TestEx))
+	}
+	// Train/test query disjointness (§5.1.2).
+	seen := map[string]bool{}
+	for _, ex := range env.TrainEx {
+		seen[ex.Query.String()] = true
+	}
+	for _, ex := range env.TestEx {
+		if seen[ex.Query.String()] {
+			t.Fatalf("test query %q appears in training set", ex.Query)
+		}
+	}
+}
+
+func TestErrorCurvesForAllMethods(t *testing.T) {
+	env := tinyEnv(t, "kdd")
+	for _, m := range []Method{
+		MethodRandom, MethodRandomFilter, MethodLSS, MethodPS3,
+		MethodPS3Unbiased, MethodOracle,
+		MethodNoCluster, MethodNoOutlier, MethodNoRegressor,
+		MethodOnlyOutlier, MethodOnlyRegressor, MethodOnlyCluster,
+	} {
+		c := env.ErrorCurve(m, env.TestEx)
+		if len(c.Errs) != len(env.Cfg.Budgets) {
+			t.Fatalf("%s: %d error points for %d budgets", m, len(c.Errs), len(env.Cfg.Budgets))
+		}
+		for i, e := range c.Errs {
+			if math.IsNaN(e.AvgRelErr) || e.AvgRelErr < 0 || e.AvgRelErr > 1 {
+				t.Fatalf("%s: budget %v AvgRelErr = %v", m, env.Cfg.Budgets[i], e.AvgRelErr)
+			}
+		}
+		// Full-ish budget should have low error; for PS3-family methods the
+		// last (60%) budget must beat the first (10%).
+		if c.Errs[len(c.Errs)-1].AvgRelErr > c.Errs[0].AvgRelErr+0.05 {
+			t.Fatalf("%s: error grew with budget: %v → %v", m, c.Errs[0].AvgRelErr, c.Errs[len(c.Errs)-1].AvgRelErr)
+		}
+	}
+}
+
+func TestDataReadReduction(t *testing.T) {
+	base := Curve{
+		Budgets: []float64{0.1, 0.2, 0.4},
+		Errs:    []metrics.Errors{{AvgRelErr: 0.4}, {AvgRelErr: 0.3}, {AvgRelErr: 0.2}},
+	}
+	better := Curve{
+		Budgets: []float64{0.1, 0.2, 0.4},
+		Errs:    []metrics.Errors{{AvgRelErr: 0.2}, {AvgRelErr: 0.1}, {AvgRelErr: 0.05}},
+	}
+	// base error at 0.2 budget is 0.3; better reaches ≤0.3 already at its
+	// first point (0.1) → reduction 2×.
+	if got := DataReadReduction(better, base, 0.2); got != 2 {
+		t.Fatalf("reduction = %v, want 2", got)
+	}
+	// A curve never reaching the target error yields 1×.
+	worse := Curve{
+		Budgets: []float64{0.1, 0.4},
+		Errs:    []metrics.Errors{{AvgRelErr: 0.9}, {AvgRelErr: 0.8}},
+	}
+	if got := DataReadReduction(worse, base, 0.2); got != 1 {
+		t.Fatalf("reduction for non-crossing curve = %v, want 1", got)
+	}
+	// Unknown budget → NaN.
+	if got := DataReadReduction(better, base, 0.33); !math.IsNaN(got) {
+		t.Fatalf("reduction at unknown budget = %v, want NaN", got)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	res, err := RunFig3(io.Discard, "aria", tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) < 4 {
+		t.Fatalf("fig3 produced %d curves, want ≥4", len(res.Curves))
+	}
+}
+
+func TestRunTable3ClusterSim(t *testing.T) {
+	sim := ClusterSim{Workers: 8, MeanSec: 1, Sigma: 0.5, Seed: 1}
+	lat1, comp1 := sim.Run(10)
+	lat2, comp2 := sim.Run(100)
+	if comp2 <= comp1 {
+		t.Fatalf("compute not increasing with partitions: %v vs %v", comp1, comp2)
+	}
+	if lat2 <= lat1 {
+		t.Fatalf("latency not increasing with partitions: %v vs %v", lat1, lat2)
+	}
+	// Compute scales ~linearly (10×); latency sublinearly (stragglers +
+	// parallelism). Paper Table 3's headline.
+	if comp2/comp1 < 5 {
+		t.Fatalf("compute ratio %v, want near-linear", comp2/comp1)
+	}
+	if lat2/lat1 > comp2/comp1 {
+		t.Fatalf("latency ratio %v not sublinear vs compute ratio %v", lat2/lat1, comp2/comp1)
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	rows, err := RunTable4(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("table4 rows = %d, want 4 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Fatalf("%s: non-positive storage", r.Dataset)
+		}
+		if sum := r.Histogram + r.HH + r.AKMV + r.Measure; math.Abs(sum-r.Total) > 1e-6 {
+			t.Fatalf("%s: families sum to %v, total %v", r.Dataset, sum, r.Total)
+		}
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	rows, err := RunTable5(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TotalMS < 0 || r.ClusterMS < 0 {
+			t.Fatalf("%s: negative picker latency", r.Dataset)
+		}
+		if r.ClusterMS > r.TotalMS {
+			t.Fatalf("%s: clustering time %v exceeds total %v", r.Dataset, r.ClusterMS, r.TotalMS)
+		}
+	}
+}
+
+func TestRunFig4Lesion(t *testing.T) {
+	res, err := RunFig4(io.Discard, "aria", tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lesion) == 0 || len(res.Factor) == 0 {
+		t.Fatal("lesion/factor analysis produced no curves")
+	}
+}
+
+func TestRunFig5FeatureImportance(t *testing.T) {
+	rows, err := RunFig5(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig5 rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		var sum float64
+		for _, v := range r.Pct {
+			if v < 0 {
+				t.Fatalf("%s: negative importance share", r.Dataset)
+			}
+			sum += v
+		}
+		if math.Abs(sum-100) > 1e-6 {
+			t.Fatalf("%s: importance shares sum to %v, want 100", r.Dataset, sum)
+		}
+	}
+}
+
+func TestCategoryImportanceCoversAllCategories(t *testing.T) {
+	env := tinyEnv(t, "aria")
+	imp := CategoryImportance(env)
+	for _, cat := range []string{"selectivity", "hh", "dv", "measure"} {
+		if _, ok := imp[cat]; !ok {
+			t.Fatalf("category %q missing from importance map %v", cat, imp)
+		}
+	}
+}
+
+func TestRunFig7SelectivityBuckets(t *testing.T) {
+	buckets, err := RunFig7(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no selectivity buckets")
+	}
+	for _, b := range buckets {
+		if b.Label == "" {
+			t.Fatal("bucket with empty label")
+		}
+		if b.Queries < 0 {
+			t.Fatalf("bucket %q has negative query count", b.Label)
+		}
+		for _, c := range b.Curves {
+			if len(c.Errs) != len(c.Budgets) {
+				t.Fatalf("bucket %q: malformed curve", b.Label)
+			}
+		}
+	}
+}
+
+func TestRunFig10AlphaSweep(t *testing.T) {
+	res, err := RunFig10(io.Discard, "kdd", tinyCfg(), []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Learned) != 2 || len(res.Oracle) != 2 {
+		t.Fatalf("alpha sweep: %d learned / %d oracle curves, want 2/2", len(res.Learned), len(res.Oracle))
+	}
+}
+
+func TestRunTable6ClusteringAlgos(t *testing.T) {
+	rows, err := RunTable6(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("table6 empty")
+	}
+	for _, r := range rows {
+		if r.HACSingle < 0 || r.HACWard < 0 || r.KMeansAUC < 0 {
+			t.Fatalf("%s: negative AUC", r.Dataset)
+		}
+	}
+}
+
+func TestRunTable8StrataSizes(t *testing.T) {
+	rows, err := RunTable8(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for b, s := range r.SizeByBudget {
+			if s <= 0 {
+				t.Fatalf("%s: strata size %d at budget %d", r.Dataset, s, b)
+			}
+		}
+	}
+}
+
+func TestPrintCurvesRendersTable(t *testing.T) {
+	var sb strings.Builder
+	curves := []Curve{{
+		Method:  MethodPS3,
+		Budgets: []float64{0.1, 0.5},
+		Errs:    []metrics.Errors{{AvgRelErr: 0.3}, {AvgRelErr: 0.1}},
+	}}
+	printCurves(&sb, "Test", "avg rel err", curves, func(e metrics.Errors) float64 { return e.AvgRelErr })
+	out := sb.String()
+	if !strings.Contains(out, "PS3") || !strings.Contains(out, "0.10") {
+		t.Fatalf("rendered table missing content:\n%s", out)
+	}
+}
+
+func TestBudgetParts(t *testing.T) {
+	cases := []struct {
+		frac  float64
+		total int
+		want  int
+	}{
+		{0, 100, 1},      // floor at 1
+		{0.01, 100, 1},   //
+		{0.5, 100, 50},   //
+		{2, 100, 100},    // cap at total
+		{0.249, 100, 25}, // round to nearest
+	}
+	for _, c := range cases {
+		if got := budgetParts(c.frac, c.total); got != c.want {
+			t.Fatalf("budgetParts(%v, %d) = %d, want %d", c.frac, c.total, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ps3/internal/dataset"
+	"ps3/internal/metrics"
+)
+
+// Fig3Result holds the macro-benchmark curves for one dataset.
+type Fig3Result struct {
+	Dataset string
+	Curves  []Curve
+	// ReductionVsRandom etc. report the data-read reduction for PS3 to
+	// match each baseline's error at the smallest budget (paper headline).
+	ReductionVsRandom, ReductionVsFilter, ReductionVsLSS float64
+}
+
+// RunFig3 reproduces Fig 3: error vs sampling budget for
+// {random, random+filter, LSS, PS3} × 3 error metrics on one dataset.
+func RunFig3(w io.Writer, dsName string, cfg Config) (*Fig3Result, error) {
+	ds, err := dataset.ByName(dsName, dataset.Config{Rows: cfg.WithDefaults().Rows,
+		Parts: cfg.WithDefaults().Parts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fig3OnEnv(w, env)
+}
+
+func fig3OnEnv(w io.Writer, env *Env) (*Fig3Result, error) {
+	methods := []Method{MethodRandom, MethodRandomFilter, MethodLSS, MethodPS3}
+	res := &Fig3Result{Dataset: env.DS.Name}
+	for _, m := range methods {
+		res.Curves = append(res.Curves, env.ErrorCurve(m, env.TestEx))
+	}
+	title := fmt.Sprintf("Fig 3 [%s, %d rows, %d parts, layout %v]",
+		env.DS.Name, env.DS.Table.NumRows(), env.DS.Table.NumParts(), env.DS.SortCols)
+	printCurves(w, title, "missed groups", res.Curves, func(e metrics.Errors) float64 { return e.MissedGroups })
+	printCurves(w, title, "avg relative error", res.Curves, func(e metrics.Errors) float64 { return e.AvgRelErr })
+	printCurves(w, title, "abs error over true", res.Curves, func(e metrics.Errors) float64 { return e.AbsOverTrue })
+
+	ps3 := res.Curves[3]
+	b0 := env.Cfg.Budgets[1] // compare at the second-smallest budget for stability
+	res.ReductionVsRandom = DataReadReduction(ps3, res.Curves[0], b0)
+	res.ReductionVsFilter = DataReadReduction(ps3, res.Curves[1], b0)
+	res.ReductionVsLSS = DataReadReduction(ps3, res.Curves[2], b0)
+	fmt.Fprintf(w, "\ndata-read reduction for PS3 to match error at %.0f%% budget: vs random %.1f×, vs random+filter %.1f×, vs LSS %.1f×\n",
+		b0*100, res.ReductionVsRandom, res.ReductionVsFilter, res.ReductionVsLSS)
+	return res, nil
+}
+
+// RunFig3All runs the macro-benchmark on all four datasets.
+func RunFig3All(w io.Writer, cfg Config) ([]*Fig3Result, error) {
+	var out []*Fig3Result
+	for _, name := range dataset.Names() {
+		r, err := RunFig3(w, name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

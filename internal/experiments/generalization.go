@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ps3/internal/dataset"
+	"ps3/internal/metrics"
+	"ps3/internal/picker"
+)
+
+// GeneralizationResult holds Fig 9 / Fig 11: per-template error curves for
+// PS3 (trained only on the random workload) vs random+filter on unseen
+// TPC-H template queries.
+type GeneralizationResult struct {
+	// PerTemplate maps template name to its two curves
+	// (random+filter, PS3).
+	PerTemplate map[string][]Curve
+	// Average / Worst / Best are the aggregate panels of Fig 9, selected by
+	// area under the PS3 error curve.
+	Average, Worst, Best []Curve
+	WorstName, BestName  string
+}
+
+// RunFig9 reproduces Fig 9 and Fig 11: train PS3 on the random TPCH*
+// workload, then evaluate on instantiations of the ten TPC-H templates.
+func RunFig9(w io.Writer, cfg Config, perTemplate int) (*GeneralizationResult, error) {
+	cfg = cfg.WithDefaults()
+	if perTemplate <= 0 {
+		perTemplate = 5 // paper: 20 instantiations per template
+	}
+	ds, err := dataset.TPCHStar(dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &GeneralizationResult{PerTemplate: map[string][]Curve{}}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4242))
+	type tmplCurves struct {
+		name   string
+		curves []Curve
+		auc    float64
+	}
+	var all []tmplCurves
+	for _, tmpl := range dataset.TPCHTemplates() {
+		var examples []picker.Example
+		for i := 0; i < perTemplate; i++ {
+			q := tmpl.Instantiate(rng)
+			ex, err := env.Sys.MakeExample(q)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s: %w", tmpl.Name, err)
+			}
+			if len(ex.TruthVals) == 0 {
+				continue // unlucky parameters selected zero rows
+			}
+			examples = append(examples, ex)
+		}
+		if len(examples) == 0 {
+			fmt.Fprintf(w, "\nFig 9/11 [%s]: all instantiations empty, skipped\n", tmpl.Name)
+			continue
+		}
+		curves := []Curve{
+			env.ErrorCurve(MethodRandomFilter, examples),
+			env.ErrorCurve(MethodPS3, examples),
+		}
+		res.PerTemplate[tmpl.Name] = curves
+		printCurves(w, fmt.Sprintf("Fig 11 [tpch template %s, %d instances]", tmpl.Name, len(examples)),
+			"avg relative error", curves, func(e metrics.Errors) float64 { return e.AvgRelErr })
+		all = append(all, tmplCurves{tmpl.Name, curves,
+			metrics.AUC(curves[1].Budgets, curves[1].AvgRelErrs())})
+	}
+	if len(all) == 0 {
+		return res, nil
+	}
+
+	// Aggregate panels: average across templates; worst/best by PS3 AUC.
+	avg := make([]Curve, 2)
+	for mi := 0; mi < 2; mi++ {
+		avg[mi] = Curve{Method: all[0].curves[mi].Method, Budgets: cfg.Budgets,
+			Errs: make([]metrics.Errors, len(cfg.Budgets))}
+		for _, tc := range all {
+			for bi := range cfg.Budgets {
+				avg[mi].Errs[bi].AvgRelErr += tc.curves[mi].Errs[bi].AvgRelErr / float64(len(all))
+				avg[mi].Errs[bi].MissedGroups += tc.curves[mi].Errs[bi].MissedGroups / float64(len(all))
+				avg[mi].Errs[bi].AbsOverTrue += tc.curves[mi].Errs[bi].AbsOverTrue / float64(len(all))
+			}
+		}
+	}
+	res.Average = avg
+	worst, best := all[0], all[0]
+	for _, tc := range all[1:] {
+		if tc.auc > worst.auc {
+			worst = tc
+		}
+		if tc.auc < best.auc {
+			best = tc
+		}
+	}
+	res.Worst, res.WorstName = worst.curves, worst.name
+	res.Best, res.BestName = best.curves, best.name
+	printCurves(w, "Fig 9 [tpch templates, average]", "avg relative error",
+		res.Average, func(e metrics.Errors) float64 { return e.AvgRelErr })
+	printCurves(w, fmt.Sprintf("Fig 9 [worst: %s]", res.WorstName), "avg relative error",
+		res.Worst, func(e metrics.Errors) float64 { return e.AvgRelErr })
+	printCurves(w, fmt.Sprintf("Fig 9 [best: %s]", res.BestName), "avg relative error",
+		res.Best, func(e metrics.Errors) float64 { return e.AvgRelErr })
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ps3/internal/dataset"
+	"ps3/internal/metrics"
+)
+
+// LayoutResult holds one dataset × layout panel of Fig 6.
+type LayoutResult struct {
+	Dataset string
+	Layout  string
+	Curves  []Curve
+}
+
+// RunFig6 reproduces Fig 6: the four methods compared on the alternative
+// data layouts of each dataset (the paper shows TPC-DS sorted by p_promo_sk
+// and cs_net_profit, Aria by AppInfo_Version and IngestionTime, KDD by
+// (service, flag) and (src_bytes, dst_bytes)).
+func RunFig6(w io.Writer, cfg Config) ([]LayoutResult, error) {
+	cfg = cfg.WithDefaults()
+	var out []LayoutResult
+	for _, name := range []string{"tpcds", "aria", "kdd"} {
+		ds, err := dataset.ByName(name, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, layout := range ds.AltLayouts {
+			alt, err := ds.WithLayout(layout)
+			if err != nil {
+				return nil, err
+			}
+			env, err := NewEnv(alt, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s %v: %w", name, layout, err)
+			}
+			res := LayoutResult{Dataset: name, Layout: strings.Join(layout, ",")}
+			for _, m := range []Method{MethodRandom, MethodRandomFilter, MethodLSS, MethodPS3} {
+				res.Curves = append(res.Curves, env.ErrorCurve(m, env.TestEx))
+			}
+			printCurves(w, fmt.Sprintf("Fig 6 [%s sorted by %s]", name, res.Layout),
+				"avg relative error", res.Curves, func(e metrics.Errors) float64 { return e.AvgRelErr })
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Fig8Result holds one panel of Fig 8.
+type Fig8Result struct {
+	Layout string
+	Parts  int
+	Curves []Curve
+}
+
+// RunFig8 reproduces Fig 8 on the TPC-H* dataset: PS3 vs random+filter on
+// (a) a random layout, (b) the L_SHIPDATE layout at the base partition
+// count, and (c) the L_SHIPDATE layout with 4× as many partitions.
+func RunFig8(w io.Writer, cfg Config) ([]Fig8Result, error) {
+	cfg = cfg.WithDefaults()
+	base, err := dataset.TPCHStar(dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	randomDS, err := base.WithLayout(nil)
+	if err != nil {
+		return nil, err
+	}
+	moreParts, err := base.WithPartitions(cfg.Parts * 4)
+	if err != nil {
+		return nil, err
+	}
+	panels := []struct {
+		name string
+		ds   *dataset.Dataset
+	}{
+		{"random layout", randomDS},
+		{fmt.Sprintf("L_SHIPDATE, %d parts", cfg.Parts), base},
+		{fmt.Sprintf("L_SHIPDATE, %d parts", cfg.Parts*4), moreParts},
+	}
+	var out []Fig8Result
+	for _, panel := range panels {
+		env, err := NewEnv(panel.ds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", panel.name, err)
+		}
+		res := Fig8Result{Layout: panel.name, Parts: panel.ds.Table.NumParts()}
+		for _, m := range []Method{MethodRandomFilter, MethodPS3} {
+			res.Curves = append(res.Curves, env.ErrorCurve(m, env.TestEx))
+		}
+		printCurves(w, fmt.Sprintf("Fig 8 [tpch, %s]", panel.name), "avg relative error",
+			res.Curves, func(e metrics.Errors) float64 { return e.AvgRelErr })
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SelectivityBucket is one selectivity range's error comparison (Fig 7).
+type SelectivityBucket struct {
+	Label   string
+	Queries int
+	Curves  []Curve
+}
+
+// RunFig7 reproduces Fig 7: error broken down by true query selectivity on
+// the TPC-H* dataset, for random, random+filter and PS3.
+func RunFig7(w io.Writer, cfg Config) ([]SelectivityBucket, error) {
+	cfg = cfg.WithDefaults()
+	// More test queries so each bucket has members.
+	if cfg.TestQueries < 45 {
+		cfg.TestQueries = 45
+	}
+	ds, err := dataset.TPCHStar(dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	type bucket struct {
+		label  string
+		lo, hi float64
+	}
+	buckets := []bucket{
+		{"selectivity < 0.2", 0, 0.2},
+		{"0.2 <= selectivity <= 0.8", 0.2, 0.8},
+		{"selectivity > 0.8", 0.8, 1.01},
+	}
+	var out []SelectivityBucket
+	for _, b := range buckets {
+		sub := env.TestEx[:0:0]
+		for _, ex := range env.TestEx {
+			s := ex.Compiled.Selectivity(ds.Table)
+			if s >= b.lo && s < b.hi {
+				sub = append(sub, ex)
+			}
+		}
+		res := SelectivityBucket{Label: b.label, Queries: len(sub)}
+		if len(sub) == 0 {
+			fmt.Fprintf(w, "\nFig 7 [%s]: no test queries in bucket\n", b.label)
+			out = append(out, res)
+			continue
+		}
+		for _, m := range []Method{MethodRandom, MethodRandomFilter, MethodPS3} {
+			res.Curves = append(res.Curves, env.ErrorCurve(m, sub))
+		}
+		printCurves(w, fmt.Sprintf("Fig 7 [tpch, %s, %d queries]", b.label, len(sub)),
+			"avg relative error", res.Curves, func(e metrics.Errors) float64 { return e.AvgRelErr })
+		out = append(out, res)
+	}
+	return out, nil
+}

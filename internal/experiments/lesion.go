@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ps3/internal/dataset"
+	"ps3/internal/metrics"
+	"ps3/internal/stats"
+)
+
+// LesionResult holds Fig 4's two panels.
+type LesionResult struct {
+	Dataset string
+	Lesion  []Curve // PS3, w/o cluster, w/o outlier, w/o regressor
+	Factor  []Curve // random, +filter, +outlier, +regressor, +cluster
+}
+
+// RunFig4 reproduces Fig 4: the lesion study (remove one component from
+// PS3) and the factor analysis (add one component to random+filter) on one
+// dataset (the paper uses Aria).
+func RunFig4(w io.Writer, dsName string, cfg Config) (*LesionResult, error) {
+	cfg = cfg.WithDefaults()
+	ds, err := dataset.ByName(dsName, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &LesionResult{Dataset: dsName}
+	for _, m := range []Method{MethodPS3, MethodNoCluster, MethodNoOutlier, MethodNoRegressor} {
+		res.Lesion = append(res.Lesion, env.ErrorCurve(m, env.TestEx))
+	}
+	printCurves(w, fmt.Sprintf("Fig 4 lesion [%s]", dsName), "avg relative error",
+		res.Lesion, func(e metrics.Errors) float64 { return e.AvgRelErr })
+
+	for _, m := range []Method{MethodRandom, MethodRandomFilter, MethodOnlyOutlier, MethodOnlyRegressor, MethodOnlyCluster} {
+		res.Factor = append(res.Factor, env.ErrorCurve(m, env.TestEx))
+	}
+	printCurves(w, fmt.Sprintf("Fig 4 factor analysis [%s]", dsName), "avg relative error",
+		res.Factor, func(e metrics.Errors) float64 { return e.AvgRelErr })
+	return res, nil
+}
+
+// ImportanceRow is one dataset's regressor feature importance by category.
+type ImportanceRow struct {
+	Dataset string
+	// Pct maps category name to its share of total gain (%).
+	Pct map[string]float64
+}
+
+// RunFig5 reproduces Fig 5: the funnel regressors' gain-based feature
+// importance aggregated into the four sketch families, per dataset.
+func RunFig5(w io.Writer, cfg Config) ([]ImportanceRow, error) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "\nFig 5 — regressor feature importance by category (%% of total gain)\n")
+	fmt.Fprintf(w, "%-10s%14s%8s%8s%10s\n", "dataset", "selectivity", "hh", "dv", "measure")
+	var rows []ImportanceRow
+	for _, name := range dataset.Names() {
+		ds, err := dataset.ByName(name, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		env, err := NewEnv(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := ImportanceRow{Dataset: name, Pct: CategoryImportance(env)}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s%14.1f%8.1f%8.1f%10.1f\n", name,
+			row.Pct["selectivity"], row.Pct["hh"], row.Pct["dv"], row.Pct["measure"])
+	}
+	return rows, nil
+}
+
+// CategoryImportance aggregates gain importance across all funnel models
+// into the four sketch families of Fig 5, as percentages of total gain.
+func CategoryImportance(env *Env) map[string]float64 {
+	space := env.Sys.Stats.Space
+	byCat := map[string]float64{}
+	var total float64
+	for _, reg := range env.Sys.Picker.Regs {
+		imp := reg.Importance()
+		for j, g := range imp {
+			cat := stats.CategoryOf(space.Meta[j].Kind).String()
+			byCat[cat] += g
+			total += g
+		}
+	}
+	if total > 0 {
+		for k := range byCat {
+			byCat[k] = byCat[k] / total * 100
+		}
+	}
+	return byCat
+}

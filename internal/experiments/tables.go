@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ps3/internal/core"
+	"ps3/internal/dataset"
+)
+
+// ClusterSim models the SCOPE cluster of Table 3: W parallel workers process
+// partitions whose service times are lognormally distributed (stragglers),
+// so total compute scales linearly with partitions read while latency is
+// sublinear.
+type ClusterSim struct {
+	Workers int
+	// MeanSec is the mean per-partition processing time.
+	MeanSec float64
+	// Sigma is the lognormal shape (straggler heaviness).
+	Sigma float64
+	Seed  int64
+}
+
+// Run simulates processing n partitions and returns (latency, compute)
+// seconds: latency is the makespan under greedy longest-processing-time
+// assignment; compute is the summed service time.
+func (c ClusterSim) Run(n int) (latency, compute float64) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	mu := math.Log(c.MeanSec) - c.Sigma*c.Sigma/2
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = math.Exp(rng.NormFloat64()*c.Sigma + mu)
+		compute += times[i]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(times)))
+	workers := make([]float64, c.Workers)
+	for _, t := range times {
+		// Assign to least-loaded worker.
+		min := 0
+		for wi := 1; wi < len(workers); wi++ {
+			if workers[wi] < workers[min] {
+				min = wi
+			}
+		}
+		workers[min] += t
+	}
+	for _, load := range workers {
+		if load > latency {
+			latency = load
+		}
+	}
+	return latency, compute
+}
+
+// Table3Row is one sampling rate's speedups.
+type Table3Row struct {
+	Budget                 float64
+	LatencySpeedup         float64
+	TotalComputeSpeedup    float64
+	PartsRead, PartsOfFull int
+}
+
+// RunTable3 reproduces Table 3: query latency and total compute speedups at
+// 1%, 5% and 10% sampling on the TPC-H* dataset under the cluster cost
+// model (a fixed per-query overhead models the picker and scheduling).
+func RunTable3(w io.Writer, cfg Config) ([]Table3Row, error) {
+	cfg = cfg.WithDefaults()
+	sim := ClusterSim{Workers: 64, MeanSec: 30, Sigma: 0.6, Seed: cfg.Seed + 5}
+	total := cfg.Parts
+	fullLat, fullComp := sim.Run(total)
+	const overheadSec = 5 // picker + plan overhead per query
+
+	fmt.Fprintf(w, "\nTable 3 [cluster sim: %d workers, %d partitions, lognormal stragglers]\n", sim.Workers, total)
+	fmt.Fprintf(w, "%-10s%20s%24s\n", "budget", "latency speedup", "total compute speedup")
+	var rows []Table3Row
+	for _, b := range []float64{0.01, 0.05, 0.10} {
+		n := budgetParts(b, total)
+		lat, comp := sim.Run(n)
+		row := Table3Row{
+			Budget:              b,
+			LatencySpeedup:      fullLat / (lat + overheadSec),
+			TotalComputeSpeedup: fullComp / (comp + overheadSec),
+			PartsRead:           n,
+			PartsOfFull:         total,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10.2f%19.1f×%23.1f×\n", b, row.LatencySpeedup, row.TotalComputeSpeedup)
+	}
+	return rows, nil
+}
+
+// Table4Row is one dataset's per-partition statistics storage in KB.
+type Table4Row struct {
+	Dataset                             string
+	Total, Histogram, HH, AKMV, Measure float64
+}
+
+// RunTable4 reproduces Table 4: average per-partition storage of the
+// summary statistics, broken down by sketch family.
+func RunTable4(w io.Writer, cfg Config) ([]Table4Row, error) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "\nTable 4 — per-partition statistics storage (KB)\n")
+	fmt.Fprintf(w, "%-10s%10s%12s%8s%8s%10s\n", "dataset", "total", "histogram", "hh", "akmv", "measure")
+	var rows []Table4Row
+	for _, name := range dataset.Names() {
+		ds, err := dataset.ByName(name, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		env, err := NewEnvStatsOnly(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b := env.Sys.Stats.Sizes()
+		kb := func(x float64) float64 { return x / 1024 }
+		row := Table4Row{Dataset: name, Total: kb(b.Total), Histogram: kb(b.Histogram),
+			HH: kb(b.HH), AKMV: kb(b.AKMV), Measure: kb(b.Measure)}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s%10.2f%12.2f%8.2f%8.2f%10.2f\n",
+			row.Dataset, row.Total, row.Histogram, row.HH, row.AKMV, row.Measure)
+	}
+	return rows, nil
+}
+
+// Table5Row is one dataset's picker overhead.
+type Table5Row struct {
+	Dataset            string
+	TotalMS, ClusterMS float64
+	Parts, FeatureDim  int
+}
+
+// RunTable5 reproduces Table 5: single-thread picker latency (total and the
+// clustering share), averaged across test queries and budgets.
+func RunTable5(w io.Writer, cfg Config) ([]Table5Row, error) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "\nTable 5 — picker overhead (ms, avg across budgets)\n")
+	fmt.Fprintf(w, "%-10s%12s%14s%8s%8s\n", "dataset", "total", "clustering", "parts", "dim")
+	var rows []Table5Row
+	for _, name := range dataset.Names() {
+		ds, err := dataset.ByName(name, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		env, err := NewEnv(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var totalD, clusterD time.Duration
+		count := 0
+		for _, b := range cfg.Budgets {
+			n := budgetParts(b, ds.Table.NumParts())
+			for qi, ex := range env.TestEx {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)))
+				_, st := env.Sys.Picker.PickWithStats(ex.Query, ex.Features, n, rng)
+				totalD += st.Total
+				clusterD += st.Cluster
+				count++
+			}
+		}
+		row := Table5Row{
+			Dataset:    name,
+			TotalMS:    float64(totalD.Microseconds()) / 1000 / float64(count),
+			ClusterMS:  float64(clusterD.Microseconds()) / 1000 / float64(count),
+			Parts:      ds.Table.NumParts(),
+			FeatureDim: env.Sys.Stats.Space.Dim(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s%12.2f%14.2f%8d%8d\n", row.Dataset, row.TotalMS, row.ClusterMS, row.Parts, row.FeatureDim)
+	}
+	return rows, nil
+}
+
+// Table8Row is one dataset's swept LSS strata sizes.
+type Table8Row struct {
+	Dataset string
+	// SizeByBudget maps budget percent to the selected stratum size.
+	SizeByBudget map[int]int
+}
+
+// RunTable8 reproduces Table 8: the strata sizes the LSS sweep selects per
+// sampling budget.
+func RunTable8(w io.Writer, cfg Config) ([]Table8Row, error) {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintf(w, "\nTable 8 — LSS strata sizes selected by exhaustive sweep\n")
+	fmt.Fprintf(w, "%-10s", "dataset")
+	for _, b := range cfg.Budgets {
+		fmt.Fprintf(w, "%8.0f%%", b*100)
+	}
+	fmt.Fprintln(w)
+	var rows []Table8Row
+	for _, name := range dataset.Names() {
+		ds, err := dataset.ByName(name, dataset.Config{Rows: cfg.Rows, Parts: cfg.Parts, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		env, err := NewEnv(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table8Row{Dataset: name, SizeByBudget: map[int]int{}}
+		fmt.Fprintf(w, "%-10s", name)
+		for _, b := range cfg.Budgets {
+			size := env.Sys.LSS.StrataSize[int(math.Round(b*100))]
+			row.SizeByBudget[int(math.Round(b*100))] = size
+			fmt.Fprintf(w, "%9d", size)
+		}
+		fmt.Fprintln(w)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// NewEnvStatsOnly builds stats without training (for storage-only
+// experiments).
+func NewEnvStatsOnly(ds *dataset.Dataset, cfg Config) (*Env, error) {
+	cfg = cfg.WithDefaults()
+	sys, err := core.New(ds.Table, core.Options{Workload: ds.Workload, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Cfg: cfg, DS: ds, Sys: sys}, nil
+}

@@ -1,0 +1,203 @@
+// Package gbt implements gradient-boosted regression trees from scratch — a
+// stdlib-only substitute for the XGBoost regressor the paper uses as the
+// base model of the importance funnel (§4.3, Appendix B.2). It provides:
+//
+//   - squared-error gradient boosting with shrinkage,
+//   - histogram-based split finding over pre-binned features with
+//     second-order (Newton) leaf weights and L2 regularization,
+//   - per-feature "gain" importance, used to reproduce Fig 5.
+package gbt
+
+import "sort"
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature int
+	thresh  float64
+	left    int
+	right   int
+	value   float64
+}
+
+// tree is a regression tree over dense float64 feature vectors.
+type tree struct {
+	nodes []node
+}
+
+// predict returns the tree's output for x.
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// binCuts computes up to maxBins-1 candidate thresholds for one feature from
+// quantiles of the training data.
+func binCuts(xs [][]float64, feature, maxBins int) []float64 {
+	vals := make([]float64, 0, len(xs))
+	for _, row := range xs {
+		vals = append(vals, row[feature])
+	}
+	sort.Float64s(vals)
+	cuts := make([]float64, 0, maxBins)
+	n := len(vals)
+	for b := 1; b < maxBins; b++ {
+		q := vals[b*n/maxBins]
+		if len(cuts) == 0 || q > cuts[len(cuts)-1] {
+			cuts = append(cuts, q)
+		}
+	}
+	// Drop a trailing cut equal to the max: splitting there is vacuous.
+	if len(cuts) > 0 && cuts[len(cuts)-1] >= vals[n-1] {
+		cuts = cuts[:len(cuts)-1]
+	}
+	return cuts
+}
+
+// binMatrix pre-bins every value into its cut bucket so split search is a
+// direct histogram accumulation (bin b means value <= cuts[b], the last bin
+// means value > all cuts).
+func binMatrix(xs [][]float64, cuts [][]float64) [][]uint8 {
+	n := len(xs)
+	m := len(cuts)
+	codes := make([][]uint8, n)
+	for i := 0; i < n; i++ {
+		row := make([]uint8, m)
+		for f := 0; f < m; f++ {
+			row[f] = uint8(sort.SearchFloat64s(cuts[f], xs[i][f]))
+		}
+		codes[i] = row
+	}
+	return codes
+}
+
+// splitCtx carries shared state while growing one tree.
+type splitCtx struct {
+	xs      [][]float64
+	codes   [][]uint8
+	cuts    [][]float64
+	active  []bool // feature participation this round (column sampling)
+	grad    []float64
+	hess    []float64
+	lambda  float64
+	minLeaf int
+	gamma   float64
+	// importance accumulates split gain per feature.
+	importance []float64
+	// scratch histograms, reused across nodes.
+	gBin, hBin []float64
+	nBin       []int
+}
+
+// leafValue is the Newton-step optimal leaf weight -G/(H+λ).
+func (c *splitCtx) leafValue(idx []int) float64 {
+	var g, h float64
+	for _, i := range idx {
+		g += c.grad[i]
+		h += c.hess[i]
+	}
+	return -g / (h + c.lambda)
+}
+
+// scoreGain computes the XGBoost split gain for a candidate partition of
+// gradients.
+func scoreGain(gl, hl, gr, hr, lambda float64) float64 {
+	score := func(g, h float64) float64 { return g * g / (h + lambda) }
+	return 0.5 * (score(gl, hl) + score(gr, hr) - score(gl+gr, hl+hr))
+}
+
+// bestSplit finds the best (feature, bin-threshold) for the rows in idx, or
+// ok=false if no split improves the objective beyond gamma.
+func (c *splitCtx) bestSplit(idx []int) (feat int, thresh float64, gain float64, ok bool) {
+	var gTot, hTot float64
+	for _, i := range idx {
+		gTot += c.grad[i]
+		hTot += c.hess[i]
+	}
+	bestGain := c.gamma
+	for f := range c.cuts {
+		if !c.active[f] {
+			continue
+		}
+		cuts := c.cuts[f]
+		nb := len(cuts) + 1
+		if nb < 2 {
+			continue
+		}
+		gBin := c.gBin[:nb]
+		hBin := c.hBin[:nb]
+		nBin := c.nBin[:nb]
+		for b := 0; b < nb; b++ {
+			gBin[b], hBin[b], nBin[b] = 0, 0, 0
+		}
+		for _, i := range idx {
+			b := c.codes[i][f]
+			gBin[b] += c.grad[i]
+			hBin[b] += c.hess[i]
+			nBin[b]++
+		}
+		var gl, hl float64
+		nl := 0
+		for b := 0; b < len(cuts); b++ {
+			gl += gBin[b]
+			hl += hBin[b]
+			nl += nBin[b]
+			nr := len(idx) - nl
+			if nl < c.minLeaf || nr < c.minLeaf {
+				continue
+			}
+			g := scoreGain(gl, hl, gTot-gl, hTot-hl, c.lambda)
+			if g > bestGain {
+				bestGain, feat, thresh, ok = g, f, cuts[b], true
+			}
+		}
+	}
+	return feat, thresh, bestGain, ok
+}
+
+// grow builds a tree of at most maxDepth on the rows in idx.
+func (c *splitCtx) grow(idx []int, maxDepth int) *tree {
+	t := &tree{}
+	var build func(idx []int, depth int) int
+	build = func(idx []int, depth int) int {
+		id := len(t.nodes)
+		t.nodes = append(t.nodes, node{feature: -1})
+		if depth >= maxDepth || len(idx) < 2*c.minLeaf {
+			t.nodes[id].value = c.leafValue(idx)
+			return id
+		}
+		f, th, gain, ok := c.bestSplit(idx)
+		if !ok {
+			t.nodes[id].value = c.leafValue(idx)
+			return id
+		}
+		c.importance[f] += gain
+		var left, right []int
+		for _, i := range idx {
+			if c.xs[i][f] <= th {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			t.nodes[id].value = c.leafValue(idx)
+			return id
+		}
+		l := build(left, depth+1)
+		r := build(right, depth+1)
+		t.nodes[id] = node{feature: f, thresh: th, left: l, right: r}
+		return id
+	}
+	build(idx, 0)
+	return t
+}

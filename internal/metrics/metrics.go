@@ -1,0 +1,121 @@
+// Package metrics implements the error metrics of paper §5.1.4: missed
+// groups, average relative error, and absolute error over true, plus the
+// area-under-error-curve summary used by the clustering comparisons
+// (Table 6/7).
+package metrics
+
+import "math"
+
+// Errors summarizes the quality of an approximate answer against the truth.
+type Errors struct {
+	// MissedGroups is the fraction of true groups absent from the estimate.
+	MissedGroups float64
+	// AvgRelErr averages |est-true|/|true| across every aggregate of every
+	// true group; aggregates of missed groups count as error 1.
+	AvgRelErr float64
+	// AbsOverTrue averages, per aggregate, mean|est-true| across groups
+	// divided by mean|true| across groups, then averages over aggregates.
+	AbsOverTrue float64
+}
+
+// Compare scores an estimated answer against the true answer. Both maps are
+// group-key → aggregate values of equal dimension. Extra groups in the
+// estimate (possible only with buggy selection, since estimates are built
+// from real partitions) are ignored, matching the paper's metrics which are
+// defined over true groups.
+func Compare(truth, est map[string][]float64) Errors {
+	var e Errors
+	if len(truth) == 0 {
+		return e
+	}
+	d := 0
+	for _, v := range truth {
+		d = len(v)
+		break
+	}
+	missed := 0
+	var relSum float64
+	relCnt := 0
+	absErr := make([]float64, d)
+	absTrue := make([]float64, d)
+	for g, tv := range truth {
+		ev, ok := est[g]
+		if !ok {
+			missed++
+		}
+		for j := 0; j < d; j++ {
+			tj := tv[j]
+			var ej float64
+			if ok {
+				ej = ev[j]
+			}
+			// Relative error; missed groups count as 1 per the paper.
+			switch {
+			case !ok:
+				relSum++
+			case tj == 0:
+				if ej != 0 {
+					relSum++
+				}
+			default:
+				r := math.Abs(ej-tj) / math.Abs(tj)
+				if r > 1 {
+					r = 1
+				}
+				relSum += r
+			}
+			relCnt++
+			absErr[j] += math.Abs(ej - tj)
+			absTrue[j] += math.Abs(tj)
+		}
+	}
+	e.MissedGroups = float64(missed) / float64(len(truth))
+	if relCnt > 0 {
+		e.AvgRelErr = relSum / float64(relCnt)
+	}
+	var aotSum float64
+	aotCnt := 0
+	for j := 0; j < d; j++ {
+		if absTrue[j] > 0 {
+			aotSum += absErr[j] / absTrue[j]
+			aotCnt++
+		}
+	}
+	if aotCnt > 0 {
+		e.AbsOverTrue = aotSum / float64(aotCnt)
+	}
+	return e
+}
+
+// Mean averages a slice of Errors component-wise.
+func Mean(errs []Errors) Errors {
+	var m Errors
+	if len(errs) == 0 {
+		return m
+	}
+	for _, e := range errs {
+		m.MissedGroups += e.MissedGroups
+		m.AvgRelErr += e.AvgRelErr
+		m.AbsOverTrue += e.AbsOverTrue
+	}
+	n := float64(len(errs))
+	m.MissedGroups /= n
+	m.AvgRelErr /= n
+	m.AbsOverTrue /= n
+	return m
+}
+
+// AUC computes the area under an error curve sampled at the given fractional
+// budgets (trapezoid rule). Budgets must be ascending in [0,1]; the result
+// is scaled by 100 to match the paper's Table 6 magnitudes.
+func AUC(budgets, errs []float64) float64 {
+	if len(budgets) != len(errs) || len(budgets) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(budgets); i++ {
+		w := budgets[i] - budgets[i-1]
+		area += w * (errs[i] + errs[i-1]) / 2
+	}
+	return area * 100
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareExactEstimateIsZeroError(t *testing.T) {
+	truth := map[string][]float64{
+		"a": {10, 20},
+		"b": {-5, 0},
+	}
+	e := Compare(truth, truth)
+	if e.MissedGroups != 0 || e.AvgRelErr != 0 || e.AbsOverTrue != 0 {
+		t.Fatalf("exact estimate scored %+v, want zeros", e)
+	}
+}
+
+func TestCompareEmptyTruth(t *testing.T) {
+	e := Compare(nil, map[string][]float64{"x": {1}})
+	if e != (Errors{}) {
+		t.Fatalf("empty truth scored %+v, want zero value", e)
+	}
+}
+
+func TestCompareMissedGroupCountsAsOne(t *testing.T) {
+	truth := map[string][]float64{
+		"a": {10},
+		"b": {20},
+	}
+	est := map[string][]float64{"a": {10}}
+	e := Compare(truth, est)
+	if e.MissedGroups != 0.5 {
+		t.Fatalf("MissedGroups = %v, want 0.5", e.MissedGroups)
+	}
+	// One aggregate exact (0), one missed (1) → average 0.5.
+	if e.AvgRelErr != 0.5 {
+		t.Fatalf("AvgRelErr = %v, want 0.5", e.AvgRelErr)
+	}
+}
+
+func TestCompareRelativeErrorCappedAtOne(t *testing.T) {
+	truth := map[string][]float64{"a": {1}}
+	est := map[string][]float64{"a": {1000}}
+	e := Compare(truth, est)
+	if e.AvgRelErr != 1 {
+		t.Fatalf("AvgRelErr = %v, want capped at 1", e.AvgRelErr)
+	}
+}
+
+func TestCompareZeroTruthValue(t *testing.T) {
+	truth := map[string][]float64{"a": {0}}
+	// Exact zero estimate → no relative error charged.
+	if e := Compare(truth, map[string][]float64{"a": {0}}); e.AvgRelErr != 0 {
+		t.Fatalf("zero-true exact estimate AvgRelErr = %v, want 0", e.AvgRelErr)
+	}
+	// Nonzero estimate of a zero true value → full error.
+	if e := Compare(truth, map[string][]float64{"a": {3}}); e.AvgRelErr != 1 {
+		t.Fatalf("zero-true wrong estimate AvgRelErr = %v, want 1", e.AvgRelErr)
+	}
+}
+
+func TestCompareAbsOverTrue(t *testing.T) {
+	// One aggregate: |5-10| + |15-20| = 10 abs error, true mass 30.
+	truth := map[string][]float64{"a": {10}, "b": {20}}
+	est := map[string][]float64{"a": {5}, "b": {15}}
+	e := Compare(truth, est)
+	want := 10.0 / 30.0
+	if math.Abs(e.AbsOverTrue-want) > 1e-12 {
+		t.Fatalf("AbsOverTrue = %v, want %v", e.AbsOverTrue, want)
+	}
+}
+
+func TestCompareAbsOverTruePerAggregateThenAveraged(t *testing.T) {
+	// Aggregate 0 exact, aggregate 1 off by 100% → average 0.5.
+	truth := map[string][]float64{"a": {10, 1}}
+	est := map[string][]float64{"a": {10, 2}}
+	e := Compare(truth, est)
+	if math.Abs(e.AbsOverTrue-0.5) > 1e-12 {
+		t.Fatalf("AbsOverTrue = %v, want 0.5", e.AbsOverTrue)
+	}
+}
+
+func TestCompareIgnoresExtraEstimateGroups(t *testing.T) {
+	truth := map[string][]float64{"a": {1}}
+	est := map[string][]float64{"a": {1}, "ghost": {999}}
+	e := Compare(truth, est)
+	if e.MissedGroups != 0 || e.AvgRelErr != 0 {
+		t.Fatalf("extra estimate group affected errors: %+v", e)
+	}
+}
+
+func TestCompareOverestimateAndUnderestimateSymmetric(t *testing.T) {
+	truth := map[string][]float64{"a": {10}}
+	over := Compare(truth, map[string][]float64{"a": {12}})
+	under := Compare(truth, map[string][]float64{"a": {8}})
+	if over.AvgRelErr != under.AvgRelErr {
+		t.Fatalf("asymmetric relative error: over %v vs under %v", over.AvgRelErr, under.AvgRelErr)
+	}
+}
+
+func TestMean(t *testing.T) {
+	errs := []Errors{
+		{MissedGroups: 0.2, AvgRelErr: 0.4, AbsOverTrue: 0.6},
+		{MissedGroups: 0.4, AvgRelErr: 0.8, AbsOverTrue: 1.0},
+	}
+	m := Mean(errs)
+	if math.Abs(m.MissedGroups-0.3) > 1e-12 ||
+		math.Abs(m.AvgRelErr-0.6) > 1e-12 ||
+		math.Abs(m.AbsOverTrue-0.8) > 1e-12 {
+		t.Fatalf("Mean = %+v", m)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if m := Mean(nil); m != (Errors{}) {
+		t.Fatalf("Mean(nil) = %+v, want zero value", m)
+	}
+}
+
+func TestAUCTrapezoid(t *testing.T) {
+	budgets := []float64{0, 0.5, 1}
+	errs := []float64{1, 0.5, 0}
+	// Trapezoid: 0.5*(1+0.5)/2 + 0.5*(0.5+0)/2 = 0.375+0.125 = 0.5, ×100.
+	if got := AUC(budgets, errs); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("AUC = %v, want 50", got)
+	}
+}
+
+func TestAUCDegenerateInputs(t *testing.T) {
+	if got := AUC([]float64{0.5}, []float64{1}); got != 0 {
+		t.Fatalf("single-point AUC = %v, want 0", got)
+	}
+	if got := AUC([]float64{0, 1}, []float64{1}); got != 0 {
+		t.Fatalf("mismatched AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCZeroError(t *testing.T) {
+	if got := AUC([]float64{0, 1}, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero-error AUC = %v, want 0", got)
+	}
+}
+
+// --- properties ---
+
+func randomAnswer(rng *rand.Rand, groups, d int) map[string][]float64 {
+	out := make(map[string][]float64, groups)
+	for g := 0; g < groups; g++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 100
+		}
+		out[string(rune('a'+g))] = v
+	}
+	return out
+}
+
+func TestCompareBoundsProperty(t *testing.T) {
+	f := func(seed int64, gRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := int(gRaw%10) + 1
+		d := int(dRaw%4) + 1
+		truth := randomAnswer(rng, groups, d)
+		est := randomAnswer(rng, int(rng.Int31n(int32(groups)+1)), d)
+		e := Compare(truth, est)
+		return e.MissedGroups >= 0 && e.MissedGroups <= 1 &&
+			e.AvgRelErr >= 0 && e.AvgRelErr <= 1 &&
+			e.AbsOverTrue >= 0 &&
+			!math.IsNaN(e.AbsOverTrue)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSelfIsAlwaysZeroProperty(t *testing.T) {
+	f := func(seed int64, gRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := randomAnswer(rng, int(gRaw%8)+1, int(dRaw%3)+1)
+		e := Compare(truth, truth)
+		return e == Errors{}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCMonotoneInErrorProperty(t *testing.T) {
+	// Pointwise-larger error curves have larger AUC.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		budgets := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := range budgets {
+			budgets[i] = float64(i) / float64(n-1)
+			lo[i] = rng.Float64()
+			hi[i] = lo[i] + rng.Float64()
+		}
+		return AUC(budgets, hi) >= AUC(budgets, lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

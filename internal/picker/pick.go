@@ -1,0 +1,394 @@
+package picker
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ps3/internal/cluster"
+	"ps3/internal/query"
+	"ps3/internal/stats"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// clusterGreedy adapts cluster.GreedyFeatureSelection for the trainer.
+func clusterGreedy(candidates []int, eval func(map[int]bool) float64, restarts int, rng *rand.Rand) []int {
+	return cluster.GreedyFeatureSelection(candidates, eval, restarts, rng)
+}
+
+// PickStats reports where picking time went (Table 5's overhead metrics).
+type PickStats struct {
+	Total   time.Duration
+	Cluster time.Duration
+}
+
+// Pick runs Algorithm 1: outliers → importance funnel → α-decayed budget
+// allocation → per-group clustering selection. features is the raw N×M
+// matrix for q from stats.TableStats.Features; budget n is the number of
+// partitions to read. The returned weights combine per §2.4.
+func (p *Picker) Pick(q *query.Query, features [][]float64, n int, rng *rand.Rand) []query.WeightedPartition {
+	sel, _ := p.PickWithStats(q, features, n, rng)
+	return sel
+}
+
+// PickWithStats is Pick with timing instrumentation.
+func (p *Picker) PickWithStats(q *query.Query, features [][]float64, n int, rng *rand.Rand) ([]query.WeightedPartition, PickStats) {
+	var st PickStats
+	start := time.Now()
+	sel := p.pick(q, features, n, rng, &st)
+	st.Total = time.Since(start)
+	return sel, st
+}
+
+func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Rand, st *PickStats) []query.WeightedPartition {
+	total := len(features)
+	if n >= total {
+		// Budget covers everything: exact answer, weight 1 each.
+		sel := make([]query.WeightedPartition, total)
+		for i := range sel {
+			sel[i] = query.WeightedPartition{Part: i, Weight: 1}
+		}
+		return sel
+	}
+	if n <= 0 {
+		return nil
+	}
+	if rng == nil {
+		rng = newRand(p.Cfg.Seed)
+	}
+
+	var selection []query.WeightedPartition
+
+	// 1. Outliers (§4.4): partitions with rare group-by bitmap signatures
+	// are evaluated exactly, weight 1, consuming up to OutlierBudgetFrac of
+	// the budget.
+	inliers := allParts(total)
+	if !p.Cfg.DisableOutlier {
+		outliers, rest := p.findOutliers(q, total)
+		budgetCap := int(math.Floor(p.Cfg.OutlierBudgetFrac * float64(n)))
+		if len(outliers) > budgetCap {
+			outliers = outliers[:budgetCap]
+			rest = nil // recompute below
+		}
+		if rest == nil {
+			inOut := make(map[int]bool, len(outliers))
+			for _, o := range outliers {
+				inOut[o] = true
+			}
+			rest = rest[:0]
+			for i := 0; i < total; i++ {
+				if !inOut[i] {
+					rest = append(rest, i)
+				}
+			}
+		}
+		for _, o := range outliers {
+			selection = append(selection, query.WeightedPartition{Part: o, Weight: 1})
+		}
+		inliers = rest
+	}
+	budget := n - len(selection)
+	if budget <= 0 {
+		return selection
+	}
+
+	// 2. Predicate filter: keep only partitions that may contain matching
+	// rows (selectivity_upper > 0; perfect recall per §3.2). Filtered-out
+	// partitions contribute nothing and are skipped entirely.
+	upSlot, _, _, _ := p.TS.Space.SelectivitySlots()
+	var candidates []int
+	for _, i := range inliers {
+		if features[i][upSlot] > 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return selection
+	}
+	if budget >= len(candidates) {
+		for _, i := range candidates {
+			selection = append(selection, query.WeightedPartition{Part: i, Weight: 1})
+		}
+		return selection
+	}
+
+	// 3. Importance funnel (Algorithm 2), least-important group first.
+	groups := p.importanceGroups(features, candidates)
+
+	// 4. Allocate budget across groups with rate decaying by α from more to
+	// less important groups.
+	alloc := allocateSamples(groups, budget, p.Cfg.Alpha)
+
+	// 5. Select within each group via clustering (or random fallback).
+	for gi, g := range groups {
+		ni := alloc[gi]
+		if ni <= 0 || len(g) == 0 {
+			continue
+		}
+		if ni >= len(g) {
+			for _, i := range g {
+				selection = append(selection, query.WeightedPartition{Part: i, Weight: 1})
+			}
+			continue
+		}
+		if p.Cfg.DisableCluster || tooComplex(q, p.Cfg.MaxPredClauses) {
+			selection = append(selection, randomSelect(g, ni, rng)...)
+			continue
+		}
+		cstart := time.Now()
+		selection = append(selection, p.clusterSelect(features, g, ni, p.Excluded, rng)...)
+		st.Cluster += time.Since(cstart)
+	}
+	return selection
+}
+
+// tooComplex reports whether the predicate exceeds the clause budget beyond
+// which clustering features stop being representative (Appendix B.1).
+func tooComplex(q *query.Query, maxClauses int) bool {
+	return len(query.Clauses(q.Pred)) > maxClauses
+}
+
+// findOutliers groups partitions by their group-by-column occurrence
+// bitmaps and flags partitions in small groups (absolute < OutlierAbsSize
+// and relative < OutlierRelSize × largest). Returns (outliers sorted by
+// ascending group size, remaining partitions).
+func (p *Picker) findOutliers(q *query.Query, total int) (outliers, rest []int) {
+	if len(q.GroupBy) == 0 {
+		return nil, allParts(total)
+	}
+	// Bitmap-bearing group-by columns.
+	var cols []int
+	for _, name := range q.GroupBy {
+		ci := p.TS.Schema.ColIndex(name)
+		if ci < 0 {
+			continue
+		}
+		if _, ok := p.TS.GlobalHH[ci]; ok {
+			cols = append(cols, ci)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, allParts(total)
+	}
+	type groupInfo struct {
+		parts []int
+	}
+	groupsBySig := make(map[uint64]*groupInfo)
+	for i := 0; i < total; i++ {
+		var sig uint64
+		for _, ci := range cols {
+			sig = sig*1000003 + uint64(p.TS.Parts[i].Bitmap[ci]) + 1
+		}
+		g, ok := groupsBySig[sig]
+		if !ok {
+			g = &groupInfo{}
+			groupsBySig[sig] = g
+		}
+		g.parts = append(g.parts, i)
+	}
+	largest := 0
+	for _, g := range groupsBySig {
+		if len(g.parts) > largest {
+			largest = len(g.parts)
+		}
+	}
+	var outGroups [][]int
+	for _, g := range groupsBySig {
+		if len(g.parts) < p.Cfg.OutlierAbsSize &&
+			float64(len(g.parts)) < p.Cfg.OutlierRelSize*float64(largest) {
+			outGroups = append(outGroups, g.parts)
+		}
+	}
+	sort.Slice(outGroups, func(a, b int) bool {
+		if len(outGroups[a]) != len(outGroups[b]) {
+			return len(outGroups[a]) < len(outGroups[b])
+		}
+		return outGroups[a][0] < outGroups[b][0]
+	})
+	isOutlier := make(map[int]bool)
+	for _, g := range outGroups {
+		for _, i := range g {
+			outliers = append(outliers, i)
+			isOutlier[i] = true
+		}
+	}
+	for i := 0; i < total; i++ {
+		if !isOutlier[i] {
+			rest = append(rest, i)
+		}
+	}
+	return outliers, rest
+}
+
+// importanceGroups runs the funnel (Algorithm 2): candidates that pass more
+// regressors advance further. The result is ordered least → most important.
+func (p *Picker) importanceGroups(features [][]float64, candidates []int) [][]int {
+	if p.Cfg.DisableRegressor || len(p.Regs) == 0 {
+		return [][]int{candidates}
+	}
+	groups := [][]int{candidates}
+	for stage, reg := range p.Regs {
+		last := groups[len(groups)-1]
+		var stay, advance []int
+		for _, i := range last {
+			if reg.Predict(features[i]) > p.Thresholds[stage] {
+				advance = append(advance, i)
+			} else {
+				stay = append(stay, i)
+			}
+		}
+		if len(advance) == 0 {
+			break
+		}
+		groups[len(groups)-1] = stay
+		groups = append(groups, advance)
+	}
+	// Drop empty groups.
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// allocateSamples splits budget across importance groups so the sampling
+// rate of group i+1 (more important) is α × that of group i, capped at 1,
+// with leftover budget redistributed. groups are ordered least → most
+// important.
+func allocateSamples(groups [][]int, budget int, alpha float64) []int {
+	k := len(groups)
+	alloc := make([]int, k)
+	if k == 0 || budget <= 0 {
+		return alloc
+	}
+	// Binary search the base rate r so Σ min(1, r·α^i)·|g_i| ≈ budget.
+	need := func(r float64) float64 {
+		var s float64
+		for i, g := range groups {
+			rate := r * math.Pow(alpha, float64(i))
+			if rate > 1 {
+				rate = 1
+			}
+			s += rate * float64(len(g))
+		}
+		return s
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if need(mid) < float64(budget) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	r := hi
+	used := 0
+	// Assign floor allocations, most-important first so high-value groups
+	// don't starve on rounding.
+	type frac struct {
+		idx int
+		f   float64
+	}
+	var fracs []frac
+	for i := k - 1; i >= 0; i-- {
+		rate := r * math.Pow(alpha, float64(i))
+		if rate > 1 {
+			rate = 1
+		}
+		exact := rate * float64(len(groups[i]))
+		a := int(exact)
+		if a > len(groups[i]) {
+			a = len(groups[i])
+		}
+		alloc[i] = a
+		used += a
+		fracs = append(fracs, frac{i, exact - float64(a)})
+	}
+	// Distribute the remainder by largest fractional part (ties favor more
+	// important groups, which come first in fracs).
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for _, fr := range fracs {
+		if used >= budget {
+			break
+		}
+		if alloc[fr.idx] < len(groups[fr.idx]) {
+			alloc[fr.idx]++
+			used++
+		}
+	}
+	// Any remaining budget (groups saturated) goes to whoever has room.
+	for i := k - 1; i >= 0 && used < budget; i-- {
+		for alloc[i] < len(groups[i]) && used < budget {
+			alloc[i]++
+			used++
+		}
+	}
+	return alloc
+}
+
+// compressActive drops feature dimensions that are zero across all rows
+// (masked columns, excluded kinds). Euclidean distances are unchanged, but
+// clustering cost shrinks from the full feature dimension to the handful of
+// columns the query actually uses.
+func compressActive(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return rows
+	}
+	m := len(rows[0])
+	var active []int
+	for j := 0; j < m; j++ {
+		for _, r := range rows {
+			if r[j] != 0 {
+				active = append(active, j)
+				break
+			}
+		}
+	}
+	if len(active) == m {
+		return rows
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		c := make([]float64, len(active))
+		for k, j := range active {
+			c[k] = r[j]
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// randomSelect samples ni partitions uniformly without replacement; each
+// carries weight |group|/ni so the estimator stays unbiased.
+func randomSelect(group []int, ni int, rng *rand.Rand) []query.WeightedPartition {
+	perm := rng.Perm(len(group))
+	w := float64(len(group)) / float64(ni)
+	out := make([]query.WeightedPartition, 0, ni)
+	for _, pi := range perm[:ni] {
+		out = append(out, query.WeightedPartition{Part: group[pi], Weight: w})
+	}
+	return out
+}
+
+// clusterSelect clusters the group's feature vectors into ni clusters and
+// returns one weighted exemplar per cluster (§4.2).
+func (p *Picker) clusterSelect(features [][]float64, group []int, ni int, excluded map[stats.Kind]bool, rng *rand.Rand) []query.WeightedPartition {
+	rows := make([][]float64, len(group))
+	for i, g := range group {
+		rows[i] = p.TS.Space.Normalize(features[g])
+	}
+	rows = maskKinds(p.TS.Space, rows, excluded)
+	rows = compressActive(rows)
+	asg := p.Cfg.clusterize(rows, ni, rng)
+	exs := p.Cfg.exemplars(rows, asg, rng)
+	out := make([]query.WeightedPartition, 0, len(exs))
+	for _, e := range exs {
+		out = append(out, query.WeightedPartition{Part: group[e.Point], Weight: e.Weight})
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ps3/internal/table"
+)
+
+// Workload specifies the query distribution PS3 is trained for (paper §2.1:
+// the aggregate functions and group-by columnsets are known a priori;
+// predicates vary freely within the scope). Sample draws random queries per
+// the §5.1.2 recipe: 0..MaxGroupCols group-by columns, 0..MaxPredClauses
+// predicate clauses with random column/operator/constant, and 1..MaxAggs
+// aggregates.
+type Workload struct {
+	// GroupableCols may appear in GROUP BY (moderate distinctness).
+	GroupableCols []string
+	// PredicateCols may appear in predicate clauses.
+	PredicateCols []string
+	// AggCols are numeric columns usable inside aggregate expressions.
+	AggCols []string
+	// MaxGroupCols bounds group-by width (default 2; paper uses up to 8).
+	MaxGroupCols int
+	// MaxPredClauses bounds predicate clauses (default 5, as in the paper).
+	MaxPredClauses int
+	// MaxAggs bounds the aggregate count (default 3, as in the paper).
+	MaxAggs int
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.MaxGroupCols <= 0 {
+		w.MaxGroupCols = 2
+	}
+	if w.MaxPredClauses <= 0 {
+		w.MaxPredClauses = 5
+	}
+	if w.MaxAggs <= 0 {
+		w.MaxAggs = 3
+	}
+	return w
+}
+
+// Generator samples random queries from a workload over a concrete table
+// (constants are drawn from actual data values so predicates are
+// satisfiable with realistic selectivities).
+type Generator struct {
+	w   Workload
+	t   *table.Table
+	rng *rand.Rand
+}
+
+// NewGenerator validates the workload spec against the table schema.
+func NewGenerator(w Workload, t *table.Table, seed int64) (*Generator, error) {
+	w = w.withDefaults()
+	check := func(names []string, what string, wantNumeric bool) error {
+		for _, name := range names {
+			ci := t.Schema.ColIndex(name)
+			if ci < 0 {
+				return fmt.Errorf("query: workload %s column %q not in schema", what, name)
+			}
+			if wantNumeric && !t.Schema.Col(ci).IsNumeric() {
+				return fmt.Errorf("query: workload %s column %q must be numeric", what, name)
+			}
+		}
+		return nil
+	}
+	if err := check(w.GroupableCols, "group-by", false); err != nil {
+		return nil, err
+	}
+	if err := check(w.PredicateCols, "predicate", false); err != nil {
+		return nil, err
+	}
+	if err := check(w.AggCols, "aggregate", true); err != nil {
+		return nil, err
+	}
+	if len(w.AggCols) == 0 {
+		return nil, fmt.Errorf("query: workload needs at least one aggregate column")
+	}
+	return &Generator{w: w, t: t, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample draws one random query.
+func (g *Generator) Sample() *Query {
+	q := &Query{}
+	q.GroupBy = g.sampleGroupBy()
+	q.Pred = g.samplePredicate()
+	q.Aggs = g.sampleAggregates()
+	return q
+}
+
+// SampleN draws n distinct queries (by SQL rendering), plus up to n extra
+// attempts to resolve collisions.
+func (g *Generator) SampleN(n int) []*Query {
+	seen := make(map[string]bool, n)
+	out := make([]*Query, 0, n)
+	for attempts := 0; len(out) < n && attempts < 20*n; attempts++ {
+		q := g.Sample()
+		key := q.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+func (g *Generator) sampleGroupBy() []string {
+	if len(g.w.GroupableCols) == 0 || g.rng.Float64() < 0.25 {
+		return nil
+	}
+	k := 1 + g.rng.Intn(g.w.MaxGroupCols)
+	if k > len(g.w.GroupableCols) {
+		k = len(g.w.GroupableCols)
+	}
+	perm := g.rng.Perm(len(g.w.GroupableCols))
+	cols := make([]string, 0, k)
+	for _, i := range perm[:k] {
+		cols = append(cols, g.w.GroupableCols[i])
+	}
+	return cols
+}
+
+func (g *Generator) sampleAggregates() []Aggregate {
+	n := 1 + g.rng.Intn(g.w.MaxAggs)
+	aggs := make([]Aggregate, 0, n)
+	for i := 0; i < n; i++ {
+		aggs = append(aggs, g.sampleAggregate(i))
+	}
+	return aggs
+}
+
+func (g *Generator) sampleAggregate(i int) Aggregate {
+	r := g.rng.Float64()
+	a := Aggregate{Name: fmt.Sprintf("agg%d", i)}
+	switch {
+	case r < 0.2:
+		a.Kind = Count
+	case r < 0.35:
+		a.Kind = Avg
+		a.Expr = Col(g.pick(g.w.AggCols))
+	default:
+		a.Kind = Sum
+		a.Expr = g.sampleExpr()
+	}
+	// Occasionally attach a CASE-style filter (§2.2).
+	if g.rng.Float64() < 0.1 && len(g.w.PredicateCols) > 0 {
+		if cl := g.sampleClause(); cl != nil {
+			a.Filter = cl
+		}
+	}
+	return a
+}
+
+// sampleExpr draws a linear projection: single column, sum, or difference.
+func (g *Generator) sampleExpr() LinearExpr {
+	r := g.rng.Float64()
+	e := Col(g.pick(g.w.AggCols))
+	switch {
+	case r < 0.7 || len(g.w.AggCols) < 2:
+		return e
+	case r < 0.88:
+		return e.Add(Col(g.pick(g.w.AggCols)))
+	default:
+		return e.Sub(Col(g.pick(g.w.AggCols)))
+	}
+}
+
+func (g *Generator) samplePredicate() Pred {
+	if len(g.w.PredicateCols) == 0 {
+		return nil
+	}
+	n := g.rng.Intn(g.w.MaxPredClauses + 1)
+	if n == 0 {
+		return nil
+	}
+	// Sample clause columns without replacement where possible, so
+	// conjunctions don't stack contradictory equality clauses on one
+	// categorical column. Numeric columns may repeat (range predicates).
+	perm := g.rng.Perm(len(g.w.PredicateCols))
+	clauses := make([]Pred, 0, n)
+	for i := 0; i < n; i++ {
+		col := g.w.PredicateCols[perm[i%len(perm)]]
+		cl := g.sampleClauseFor(col)
+		if cl == nil {
+			continue
+		}
+		// Occasional negation (§2.2).
+		if g.rng.Float64() < 0.08 {
+			clauses = append(clauses, &Not{Child: cl})
+		} else {
+			clauses = append(clauses, cl)
+		}
+	}
+	if len(clauses) == 0 {
+		return nil
+	}
+	if len(clauses) == 1 {
+		return clauses[0]
+	}
+	// Mostly conjunctions; sometimes a disjunctive pair nested inside.
+	if g.rng.Float64() < 0.25 && len(clauses) >= 2 {
+		or := NewOr(clauses[0], clauses[1])
+		rest := append([]Pred{or}, clauses[2:]...)
+		return NewAnd(rest...)
+	}
+	return NewAnd(clauses...)
+}
+
+// sampleClause picks a random predicate column, operator and constant; the
+// constant is a value from a random row so selectivities are realistic.
+func (g *Generator) sampleClause() Pred {
+	return g.sampleClauseFor(g.pick(g.w.PredicateCols))
+}
+
+// sampleClauseFor samples an operator and constant for the given column.
+func (g *Generator) sampleClauseFor(col string) Pred {
+	ci := g.t.Schema.ColIndex(col)
+	if g.t.Schema.Col(ci).IsNumeric() {
+		v := g.sampleNumeric(ci)
+		ops := []Op{OpLt, OpLe, OpGt, OpGe, OpGe, OpLe} // inequality-heavy
+		if g.rng.Float64() < 0.08 {
+			return &Clause{Col: col, Op: OpEq, Num: v}
+		}
+		return &Clause{Col: col, Op: ops[g.rng.Intn(len(ops))], Num: v}
+	}
+	// Categorical: equality or IN over 2-3 sampled values. Attempts are
+	// bounded because low-cardinality columns may not have k distinct
+	// values to offer.
+	if g.rng.Float64() < 0.35 {
+		k := 2 + g.rng.Intn(2)
+		vals := make([]string, 0, k)
+		seen := map[string]bool{}
+		for attempts := 0; len(vals) < k && attempts < 20*k; attempts++ {
+			v := g.sampleCategorical(ci)
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+		return &Clause{Col: col, Op: OpIn, Strs: vals}
+	}
+	return &Clause{Col: col, Op: OpEq, Strs: []string{g.sampleCategorical(ci)}}
+}
+
+// sampleNumeric returns the value of column ci at a uniformly random row.
+func (g *Generator) sampleNumeric(ci int) float64 {
+	p := g.t.Parts[g.rng.Intn(len(g.t.Parts))]
+	return p.Num[ci][g.rng.Intn(p.Rows())]
+}
+
+// sampleCategorical returns the value of column ci at a random row.
+func (g *Generator) sampleCategorical(ci int) string {
+	p := g.t.Parts[g.rng.Intn(len(g.t.Parts))]
+	return g.t.Dict.Value(p.Cat[ci][g.rng.Intn(p.Rows())])
+}
+
+func (g *Generator) pick(names []string) string {
+	return names[g.rng.Intn(len(names))]
+}

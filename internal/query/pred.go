@@ -1,0 +1,266 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"ps3/internal/table"
+)
+
+// Op enumerates comparison operators for predicate clauses.
+type Op uint8
+
+const (
+	// OpEq is equality (numeric or categorical).
+	OpEq Op = iota
+	// OpNe is inequality.
+	OpNe
+	// OpLt is numeric <.
+	OpLt
+	// OpLe is numeric <=.
+	OpLe
+	// OpGt is numeric >.
+	OpGt
+	// OpGe is numeric >=.
+	OpGe
+	// OpIn is categorical membership in a value list.
+	OpIn
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "IN"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Pred is a predicate tree node: And, Or, Not, or Clause.
+type Pred interface {
+	fmt.Stringer
+	// Walk visits every node, depth-first.
+	Walk(func(Pred))
+}
+
+// And is a conjunction of child predicates.
+type And struct{ Children []Pred }
+
+// Or is a disjunction of child predicates.
+type Or struct{ Children []Pred }
+
+// Not negates its child predicate.
+type Not struct{ Child Pred }
+
+// Clause is a single-column comparison: Col Op value. Numeric comparisons
+// use Num; categorical equality/IN use Strs.
+type Clause struct {
+	Col  string
+	Op   Op
+	Num  float64
+	Strs []string
+}
+
+// NewAnd returns the conjunction of preds, simplifying singletons.
+func NewAnd(preds ...Pred) Pred {
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return &And{Children: preds}
+}
+
+// NewOr returns the disjunction of preds, simplifying singletons.
+func NewOr(preds ...Pred) Pred {
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return &Or{Children: preds}
+}
+
+func (a *And) Walk(f func(Pred)) {
+	f(a)
+	for _, c := range a.Children {
+		c.Walk(f)
+	}
+}
+
+func (o *Or) Walk(f func(Pred)) {
+	f(o)
+	for _, c := range o.Children {
+		c.Walk(f)
+	}
+}
+
+func (n *Not) Walk(f func(Pred)) {
+	f(n)
+	n.Child.Walk(f)
+}
+
+func (c *Clause) Walk(f func(Pred)) { f(c) }
+
+func (a *And) String() string {
+	parts := make([]string, len(a.Children))
+	for i, c := range a.Children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+func (o *Or) String() string {
+	parts := make([]string, len(o.Children))
+	for i, c := range o.Children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+func (n *Not) String() string { return "NOT " + n.Child.String() }
+
+func (c *Clause) String() string {
+	if c.Op == OpIn {
+		return fmt.Sprintf("%s IN (%s)", c.Col, strings.Join(c.Strs, ", "))
+	}
+	if len(c.Strs) == 1 {
+		return fmt.Sprintf("%s %s %q", c.Col, c.Op, c.Strs[0])
+	}
+	return fmt.Sprintf("%s %s %g", c.Col, c.Op, c.Num)
+}
+
+// Clauses returns all leaf clauses of the predicate tree.
+func Clauses(p Pred) []*Clause {
+	if p == nil {
+		return nil
+	}
+	var out []*Clause
+	p.Walk(func(n Pred) {
+		if c, ok := n.(*Clause); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// Columns returns the distinct column names referenced by the predicate.
+func Columns(p Pred) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range Clauses(p) {
+		if !seen[c.Col] {
+			seen[c.Col] = true
+			out = append(out, c.Col)
+		}
+	}
+	return out
+}
+
+// rowFn evaluates a compiled predicate on one row of a partition.
+type rowFn func(p *table.Partition, r int) bool
+
+// compilePred resolves a predicate tree against a schema and dictionary.
+func compilePred(pred Pred, s *table.Schema, d *table.Dict) (rowFn, error) {
+	if pred == nil {
+		return func(*table.Partition, int) bool { return true }, nil
+	}
+	switch n := pred.(type) {
+	case *And:
+		fns := make([]rowFn, len(n.Children))
+		for i, c := range n.Children {
+			fn, err := compilePred(c, s, d)
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = fn
+		}
+		return func(p *table.Partition, r int) bool {
+			for _, fn := range fns {
+				if !fn(p, r) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *Or:
+		fns := make([]rowFn, len(n.Children))
+		for i, c := range n.Children {
+			fn, err := compilePred(c, s, d)
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = fn
+		}
+		return func(p *table.Partition, r int) bool {
+			for _, fn := range fns {
+				if fn(p, r) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case *Not:
+		fn, err := compilePred(n.Child, s, d)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *table.Partition, r int) bool { return !fn(p, r) }, nil
+	case *Clause:
+		return compileClause(n, s, d)
+	default:
+		return nil, fmt.Errorf("query: unknown predicate node %T", pred)
+	}
+}
+
+func compileClause(c *Clause, s *table.Schema, d *table.Dict) (rowFn, error) {
+	ci := s.ColIndex(c.Col)
+	if ci < 0 {
+		return nil, fmt.Errorf("query: unknown column %q in predicate", c.Col)
+	}
+	col := s.Col(ci)
+	if col.IsNumeric() {
+		v := c.Num
+		switch c.Op {
+		case OpEq:
+			return func(p *table.Partition, r int) bool { return p.Num[ci][r] == v }, nil
+		case OpNe:
+			return func(p *table.Partition, r int) bool { return p.Num[ci][r] != v }, nil
+		case OpLt:
+			return func(p *table.Partition, r int) bool { return p.Num[ci][r] < v }, nil
+		case OpLe:
+			return func(p *table.Partition, r int) bool { return p.Num[ci][r] <= v }, nil
+		case OpGt:
+			return func(p *table.Partition, r int) bool { return p.Num[ci][r] > v }, nil
+		case OpGe:
+			return func(p *table.Partition, r int) bool { return p.Num[ci][r] >= v }, nil
+		default:
+			return nil, fmt.Errorf("query: operator %s not supported on numeric column %q", c.Op, c.Col)
+		}
+	}
+	// Categorical: resolve value strings to dictionary codes. Unseen values
+	// match no rows.
+	switch c.Op {
+	case OpEq, OpNe, OpIn:
+	default:
+		return nil, fmt.Errorf("query: operator %s not supported on categorical column %q", c.Op, c.Col)
+	}
+	codes := make(map[uint32]bool, len(c.Strs))
+	for _, v := range c.Strs {
+		if code, ok := d.Lookup(v); ok {
+			codes[code] = true
+		}
+	}
+	if c.Op == OpNe {
+		return func(p *table.Partition, r int) bool { return !codes[p.Cat[ci][r]] }, nil
+	}
+	return func(p *table.Partition, r int) bool { return codes[p.Cat[ci][r]] }, nil
+}

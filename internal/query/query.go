@@ -1,0 +1,316 @@
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"ps3/internal/table"
+)
+
+// Query is a single-table aggregation query within PS3's scope (§2.2):
+// SELECT <GroupBy...>, <Aggs...> FROM t WHERE <Pred> GROUP BY <GroupBy...>.
+type Query struct {
+	Aggs    []Aggregate
+	Pred    Pred
+	GroupBy []string
+}
+
+// String renders the query in SQL-ish form for logs and docs.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, g := range q.GroupBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(g)
+	}
+	for i, a := range q.Aggs {
+		if i > 0 || len(q.GroupBy) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteString(" FROM t")
+	if q.Pred != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Pred.String())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(q.GroupBy, ", "))
+	}
+	return sb.String()
+}
+
+// Columns returns all distinct columns the query references (aggregates,
+// filters, predicate, group by) — the set used for query-dependent feature
+// masking.
+func (q *Query) Columns() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, a := range q.Aggs {
+		for _, c := range a.Expr.Columns() {
+			add(c)
+		}
+		for _, c := range Columns(a.Filter) {
+			add(c)
+		}
+	}
+	for _, c := range Columns(q.Pred) {
+		add(c)
+	}
+	for _, g := range q.GroupBy {
+		add(g)
+	}
+	return out
+}
+
+// aggSlot maps an aggregate to its accumulator slots.
+type aggSlot struct {
+	kind   AggKind
+	expr   func(p *table.Partition, r int) float64
+	filter rowFn
+	// first accumulator index; AVG uses two consecutive slots (sum, count).
+	at int
+}
+
+// Compiled is a query bound to a schema and dictionary, ready to evaluate on
+// partitions.
+type Compiled struct {
+	Q        *Query
+	schema   *table.Schema
+	dict     *table.Dict
+	pred     rowFn
+	groupIdx []int
+	slots    []aggSlot
+	comps    int
+}
+
+// Compile binds q against the table's schema and dictionary, validating all
+// column references.
+func Compile(q *Query, t *table.Table) (*Compiled, error) {
+	c := &Compiled{Q: q, schema: t.Schema, dict: t.Dict}
+	var err error
+	c.pred, err = compilePred(q.Pred, t.Schema, t.Dict)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range q.GroupBy {
+		gi := t.Schema.ColIndex(g)
+		if gi < 0 {
+			return nil, fmt.Errorf("query: unknown group-by column %q", g)
+		}
+		c.groupIdx = append(c.groupIdx, gi)
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("query: at least one aggregate is required")
+	}
+	at := 0
+	for _, a := range q.Aggs {
+		slot := aggSlot{kind: a.Kind, at: at}
+		if a.Kind != Count {
+			fn, err := a.Expr.compile(t.Schema)
+			if err != nil {
+				return nil, err
+			}
+			slot.expr = fn
+		}
+		if a.Filter != nil {
+			fn, err := compilePred(a.Filter, t.Schema, t.Dict)
+			if err != nil {
+				return nil, err
+			}
+			slot.filter = fn
+		}
+		c.slots = append(c.slots, slot)
+		at += a.components()
+	}
+	c.comps = at
+	return c, nil
+}
+
+// NumAggs returns d, the number of aggregates in the answer.
+func (c *Compiled) NumAggs() int { return len(c.Q.Aggs) }
+
+// Answer holds per-group accumulator vectors. The accumulators are linear
+// (sums and counts), so answers from different partitions combine by
+// weighted addition (§2.4).
+type Answer struct {
+	comps  int
+	Groups map[string][]float64
+}
+
+// NewAnswer returns an empty answer for the compiled query.
+func (c *Compiled) NewAnswer() *Answer {
+	return &Answer{comps: c.comps, Groups: make(map[string][]float64)}
+}
+
+// NumGroups returns the number of groups in the answer.
+func (a *Answer) NumGroups() int { return len(a.Groups) }
+
+// AddWeighted accumulates w * other into a.
+func (a *Answer) AddWeighted(other *Answer, w float64) {
+	for g, vals := range other.Groups {
+		acc, ok := a.Groups[g]
+		if !ok {
+			acc = make([]float64, a.comps)
+			a.Groups[g] = acc
+		}
+		for i, v := range vals {
+			acc[i] += w * v
+		}
+	}
+}
+
+// EvalPartition computes the query's accumulators on one partition.
+func (c *Compiled) EvalPartition(p *table.Partition) *Answer {
+	ans := c.NewAnswer()
+	var keyBuf []byte
+	rows := p.Rows()
+	for r := 0; r < rows; r++ {
+		if !c.pred(p, r) {
+			continue
+		}
+		keyBuf = c.appendKey(keyBuf[:0], p, r)
+		acc, ok := ans.Groups[string(keyBuf)]
+		if !ok {
+			acc = make([]float64, c.comps)
+			ans.Groups[string(keyBuf)] = acc
+		}
+		for _, s := range c.slots {
+			if s.filter != nil && !s.filter(p, r) {
+				continue
+			}
+			switch s.kind {
+			case Sum:
+				acc[s.at] += s.expr(p, r)
+			case Count:
+				acc[s.at]++
+			case Avg:
+				acc[s.at] += s.expr(p, r)
+				acc[s.at+1]++
+			}
+		}
+	}
+	return ans
+}
+
+// appendKey encodes the group-by values of row r into buf.
+func (c *Compiled) appendKey(buf []byte, p *table.Partition, r int) []byte {
+	for _, gi := range c.groupIdx {
+		if p.Num[gi] != nil {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.Num[gi][r]))
+			buf = append(buf, b[:]...)
+		} else {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], p.Cat[gi][r])
+			buf = append(buf, b[:]...)
+		}
+	}
+	return buf
+}
+
+// GroupLabel decodes a group key into human-readable column=value parts.
+func (c *Compiled) GroupLabel(key string) string {
+	if len(c.groupIdx) == 0 {
+		return "<all>"
+	}
+	var parts []string
+	b := []byte(key)
+	for _, gi := range c.groupIdx {
+		col := c.schema.Col(gi)
+		if col.IsNumeric() {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
+			b = b[8:]
+			parts = append(parts, fmt.Sprintf("%s=%g", col.Name, v))
+		} else {
+			code := binary.LittleEndian.Uint32(b[:4])
+			b = b[4:]
+			parts = append(parts, fmt.Sprintf("%s=%s", col.Name, c.dict.Value(code)))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// FinalValues converts an answer's accumulators into the d final aggregate
+// values per group (AVG = sum/count; empty AVG groups yield 0).
+func (c *Compiled) FinalValues(a *Answer) map[string][]float64 {
+	out := make(map[string][]float64, len(a.Groups))
+	for g, acc := range a.Groups {
+		vals := make([]float64, len(c.slots))
+		for i, s := range c.slots {
+			switch s.kind {
+			case Sum, Count:
+				vals[i] = acc[s.at]
+			case Avg:
+				if acc[s.at+1] != 0 {
+					vals[i] = acc[s.at] / acc[s.at+1]
+				}
+			}
+		}
+		out[g] = vals
+	}
+	return out
+}
+
+// GroundTruth evaluates the query exactly over every partition of the table
+// (without charging the I/O accountant — it models the offline oracle used
+// to score experiments) and also returns the per-partition answers, which
+// both training-label generation and error evaluation reuse.
+func (c *Compiled) GroundTruth(t *table.Table) (total *Answer, perPart []*Answer) {
+	total = c.NewAnswer()
+	perPart = make([]*Answer, len(t.Parts))
+	for i, p := range t.Parts {
+		pa := c.EvalPartition(p)
+		perPart[i] = pa
+		total.AddWeighted(pa, 1)
+	}
+	return total, perPart
+}
+
+// Selectivity returns the exact fraction of the table's rows that satisfy
+// the query's predicate.
+func (c *Compiled) Selectivity(t *table.Table) float64 {
+	var pass, rows int
+	for _, p := range t.Parts {
+		n := p.Rows()
+		rows += n
+		for r := 0; r < n; r++ {
+			if c.pred(p, r) {
+				pass++
+			}
+		}
+	}
+	if rows == 0 {
+		return 0
+	}
+	return float64(pass) / float64(rows)
+}
+
+// Estimate evaluates the query on a weighted selection of partition ids,
+// reading each selected partition through the table's I/O accountant, and
+// returns the combined approximate answer.
+func (c *Compiled) Estimate(t *table.Table, sel []WeightedPartition) *Answer {
+	ans := c.NewAnswer()
+	for _, wp := range sel {
+		p := t.Read(wp.Part)
+		ans.AddWeighted(c.EvalPartition(p), wp.Weight)
+	}
+	return ans
+}
+
+// WeightedPartition is one (partition, weight) choice in a sample (§2.4).
+type WeightedPartition struct {
+	Part   int
+	Weight float64
+}

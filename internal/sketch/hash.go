@@ -1,0 +1,27 @@
+package sketch
+
+// Hash64 is a 64-bit mix hash (splitmix64 finalizer) used to hash categorical
+// codes and numeric bit patterns for the AKMV sketch and categorical
+// histograms. It is deterministic across runs, which keeps experiments
+// reproducible.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString hashes a string with FNV-1a then mixes, for use when a value has
+// no dictionary code.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Hash64(h)
+}

@@ -1,0 +1,104 @@
+package sketch
+
+import "fmt"
+
+// This file provides snapshot/restore support so that finalized sketches
+// can be persisted separately from the data partitions — the deployment
+// model of the paper (§2.3.1: "the sketches are stored separately from the
+// partitions" and consulted at query-optimization time without touching raw
+// data). Snapshots are plain exported structs suitable for encoding/gob.
+
+// HistogramSnapshot is the wire form of a finalized Histogram.
+type HistogramSnapshot struct {
+	Budget  int
+	Buckets []Bucket
+	Total   int64
+}
+
+// Snapshot captures the histogram's state. The histogram must be finalized.
+func (h *Histogram) Snapshot() (HistogramSnapshot, error) {
+	if !h.sealed {
+		return HistogramSnapshot{}, fmt.Errorf("sketch: cannot snapshot an unsealed histogram")
+	}
+	return HistogramSnapshot{Budget: h.buckets, Buckets: h.Buckets, Total: h.Total}, nil
+}
+
+// HistogramFromSnapshot reconstructs a finalized histogram.
+func HistogramFromSnapshot(s HistogramSnapshot) *Histogram {
+	return &Histogram{buckets: s.Budget, sealed: true, Buckets: s.Buckets, Total: s.Total}
+}
+
+// AKMVSnapshot is the wire form of an AKMV sketch.
+type AKMVSnapshot struct {
+	K       int
+	Entries map[uint64]int64
+	Rows    int64
+}
+
+// Snapshot captures the AKMV state.
+func (a *AKMV) Snapshot() AKMVSnapshot {
+	entries := make(map[uint64]int64, len(a.entries))
+	for k, v := range a.entries {
+		entries[k] = v
+	}
+	return AKMVSnapshot{K: a.K, Entries: entries, Rows: a.rows}
+}
+
+// AKMVFromSnapshot reconstructs an AKMV sketch; the cached k-th minimum
+// hash is recomputed from the entries.
+func AKMVFromSnapshot(s AKMVSnapshot) *AKMV {
+	a := &AKMV{K: s.K, entries: make(map[uint64]int64, len(s.Entries)), rows: s.Rows}
+	for k, v := range s.Entries {
+		a.entries[k] = v
+		if k > a.maxHash {
+			a.maxHash = k
+		}
+	}
+	return a
+}
+
+// HeavyHitterSnapshot is the wire form of a finalized HeavyHitter sketch.
+type HeavyHitterSnapshot struct {
+	Support float64
+	Rows    int64
+	Items   []HHItem
+}
+
+// Snapshot captures the heavy-hitter state. The sketch must be finalized.
+func (hh *HeavyHitter) Snapshot() (HeavyHitterSnapshot, error) {
+	if !hh.sealed {
+		return HeavyHitterSnapshot{}, fmt.Errorf("sketch: cannot snapshot an unsealed heavy-hitter sketch")
+	}
+	return HeavyHitterSnapshot{Support: hh.support, Rows: hh.n, Items: hh.items}, nil
+}
+
+// HeavyHitterFromSnapshot reconstructs a finalized heavy-hitter sketch.
+func HeavyHitterFromSnapshot(s HeavyHitterSnapshot) *HeavyHitter {
+	return &HeavyHitter{support: s.Support, n: s.Rows, sealed: true, items: s.Items}
+}
+
+// ExactDictSnapshot is the wire form of an ExactDict.
+type ExactDictSnapshot struct {
+	Cap      int
+	Counts   map[uint32]int64
+	Rows     int64
+	Overflow bool
+}
+
+// Snapshot captures the dictionary state.
+func (d *ExactDict) Snapshot() ExactDictSnapshot {
+	counts := make(map[uint32]int64, len(d.counts))
+	for k, v := range d.counts {
+		counts[k] = v
+	}
+	return ExactDictSnapshot{Cap: d.cap, Counts: counts, Rows: d.rows, Overflow: d.Overflow}
+}
+
+// ExactDictFromSnapshot reconstructs an ExactDict.
+func ExactDictFromSnapshot(s ExactDictSnapshot) *ExactDict {
+	d := &ExactDict{cap: s.Cap, counts: make(map[uint32]int64, len(s.Counts)), rows: s.Rows, Overflow: s.Overflow}
+	for k, v := range s.Counts {
+		d.counts[k] = v
+	}
+	return d
+}

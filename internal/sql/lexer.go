@@ -1,0 +1,167 @@
+// Package sql parses SQL text into PS3's query model. The dialect covers
+// exactly the query scope of paper §2.2:
+//
+//	SELECT <group-cols and aggregates> FROM <table>
+//	[WHERE <predicate>] [GROUP BY <cols>]
+//
+// with SUM/COUNT(*)/AVG aggregates over ±-linear column expressions
+// (optionally FILTER (WHERE <pred>) — the CASE-condition rewrite), and
+// predicates that are AND/OR/NOT combinations of single-column comparisons
+// (=, !=, <>, <, <=, >, >=, IN, BETWEEN).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+	tokPlus
+	tokMinus
+	tokOp // comparison: = != <> < <= > >=
+)
+
+// token is one lexical token with its source position for error messages.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case c == '-':
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected %q at offset %d", c, start)
+	case c == '<':
+		if l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '=':
+				l.pos += 2
+				return token{tokOp, "<=", start}, nil
+			case '>':
+				l.pos += 2
+				return token{tokOp, "!=", start}, nil
+			}
+		}
+		l.pos++
+		return token{tokOp, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokOp, ">", start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string starting at offset %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				// '' escapes a quote inside the literal.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{tokString, sb.String(), start}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+	case isDigit(c) || c == '.':
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+				(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, fmt.Errorf("sql: unexpected %q at offset %d", c, start)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// keyword reports whether t is the given keyword, case-insensitively.
+func (t token) keyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

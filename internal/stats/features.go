@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"math"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// Kind identifies one summary-statistic feature type (the rows of Table 2 /
+// the feature list of Algorithm 3). Feature selection operates on kinds.
+type Kind uint8
+
+const (
+	// Selectivity features (query-specific, §3.2).
+	KSelUpper Kind = iota
+	KSelIndep
+	KSelMin
+	KSelMax
+	// Occurrence bitmap bits of global heavy hitters.
+	KBitmap
+	// Measure features.
+	KMean
+	KMeanSq
+	KStd
+	KMin
+	KMax
+	KLogMean
+	KLogMeanSq
+	KLogMin
+	KLogMax
+	// Heavy hitter features.
+	KNumHH
+	KAvgHH
+	KMaxHH
+	// Distinct value features.
+	KNumDV
+	KAvgDV
+	KMaxDV
+	KMinDV
+	KSumDV
+	numKinds
+)
+
+// kindNames maps kinds to the names used in Algorithm 3 of the paper.
+var kindNames = [numKinds]string{
+	"selectivity_upper", "selectivity_indep", "selectivity_min", "selectivity_max",
+	"occurrence_bitmap",
+	"x", "x2", "std", "min(x)", "max(x)",
+	"log(x)", "log2(x)", "min(log(x))", "max(log(x))",
+	"#hh", "avg_hh", "max_hh",
+	"#dv", "avg_dv", "max_dv", "min_dv", "sum_dv",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Category groups kinds into the four sketch families of Fig 5.
+type Category uint8
+
+const (
+	CatSelectivity Category = iota
+	CatHH
+	CatDV
+	CatMeasure
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatSelectivity:
+		return "selectivity"
+	case CatHH:
+		return "hh"
+	case CatDV:
+		return "dv"
+	default:
+		return "measure"
+	}
+}
+
+// CategoryOf returns the sketch family a kind belongs to.
+func CategoryOf(k Kind) Category {
+	switch k {
+	case KSelUpper, KSelIndep, KSelMin, KSelMax:
+		return CatSelectivity
+	case KBitmap, KNumHH, KAvgHH, KMaxHH:
+		return CatHH
+	case KNumDV, KAvgDV, KMaxDV, KMinDV, KSumDV:
+		return CatDV
+	default:
+		return CatMeasure
+	}
+}
+
+// AllKinds returns every feature kind, in order.
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// FeatureMeta describes one slot of the feature vector.
+type FeatureMeta struct {
+	Kind Kind
+	// Col is the column index the feature derives from, or -1 for the
+	// query-level selectivity features.
+	Col int
+	// Bit is the bitmap bit index for KBitmap features.
+	Bit int
+}
+
+// FeatureSpace is the layout of partition feature vectors for one table +
+// workload: 4 selectivity slots, then per-column statistics, then occurrence
+// bitmap bits for groupable columns.
+type FeatureSpace struct {
+	Meta []FeatureMeta
+	// colSlots[c] is the offset of column c's 17 per-column stats.
+	colSlots map[int]int
+	// bitmapSlots[c] is the offset of column c's bitmap bits (len = bits[c]).
+	bitmapSlots map[int]int
+	bitmapBits  map[int]int
+	// Scale holds normalization divisors fitted on training features; nil
+	// until Fit is called.
+	Scale []float64
+}
+
+// perColKinds are the 17 per-column feature kinds, in slot order.
+var perColKinds = []Kind{
+	KMean, KMeanSq, KStd, KMin, KMax,
+	KLogMean, KLogMeanSq, KLogMin, KLogMax,
+	KNumHH, KAvgHH, KMaxHH,
+	KNumDV, KAvgDV, KMaxDV, KMinDV, KSumDV,
+}
+
+func newFeatureSpace(s *table.Schema, globalHH map[int][]uint32, _ Options) *FeatureSpace {
+	fs := &FeatureSpace{
+		colSlots:    make(map[int]int),
+		bitmapSlots: make(map[int]int),
+		bitmapBits:  make(map[int]int),
+	}
+	fs.Meta = append(fs.Meta,
+		FeatureMeta{Kind: KSelUpper, Col: -1},
+		FeatureMeta{Kind: KSelIndep, Col: -1},
+		FeatureMeta{Kind: KSelMin, Col: -1},
+		FeatureMeta{Kind: KSelMax, Col: -1},
+	)
+	for ci := range s.Cols {
+		fs.colSlots[ci] = len(fs.Meta)
+		for _, k := range perColKinds {
+			fs.Meta = append(fs.Meta, FeatureMeta{Kind: k, Col: ci})
+		}
+	}
+	// Deterministic order over bitmap columns.
+	for ci := range s.Cols {
+		codes, ok := globalHH[ci]
+		if !ok || len(codes) == 0 {
+			continue
+		}
+		fs.bitmapSlots[ci] = len(fs.Meta)
+		fs.bitmapBits[ci] = len(codes)
+		for b := range codes {
+			fs.Meta = append(fs.Meta, FeatureMeta{Kind: KBitmap, Col: ci, Bit: b})
+		}
+	}
+	return fs
+}
+
+// Dim returns M, the feature dimension.
+func (fs *FeatureSpace) Dim() int { return len(fs.Meta) }
+
+// SelectivitySlots returns the indexes of the four selectivity features.
+func (fs *FeatureSpace) SelectivitySlots() (upper, indep, minS, maxS int) {
+	return 0, 1, 2, 3
+}
+
+// buildBaseMatrix precomputes the query-independent features of every
+// partition (selectivity slots left at zero).
+func (ts *TableStats) buildBaseMatrix() [][]float64 {
+	m := ts.Space.Dim()
+	out := make([][]float64, len(ts.Parts))
+	for i, ps := range ts.Parts {
+		v := make([]float64, m)
+		for ci := range ts.Schema.Cols {
+			off := ts.Space.colSlots[ci]
+			cs := &ps.Cols[ci]
+			if cs.Measures != nil {
+				mm := cs.Measures
+				v[off+0] = mm.Mean()
+				v[off+1] = mm.MeanSq()
+				v[off+2] = mm.Std()
+				if mm.Count > 0 {
+					v[off+3] = mm.Min
+					v[off+4] = mm.Max
+				}
+				if mm.HasLog && mm.Count > 0 {
+					v[off+5] = mm.LogMean()
+					v[off+6] = mm.LogMeanSq()
+					v[off+7] = mm.LogMin
+					v[off+8] = mm.LogMax
+				}
+			}
+			nhh, avgHH, maxHH := cs.HH.Stats()
+			v[off+9] = float64(nhh)
+			v[off+10] = avgHH
+			v[off+11] = maxHH
+			v[off+12] = cs.AKMV.DistinctEstimate()
+			avgDV, maxDV, minDV, sumDV := cs.AKMV.FreqStats()
+			v[off+13] = avgDV
+			v[off+14] = maxDV
+			v[off+15] = minDV
+			v[off+16] = sumDV
+		}
+		for ci, slot := range ts.Space.bitmapSlots {
+			bm := ps.Bitmap[ci]
+			bits := ts.Space.bitmapBits[ci]
+			for b := 0; b < bits; b++ {
+				if bm&(1<<uint(b)) != 0 {
+					v[slot+b] = 1
+				}
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Features builds the N×M feature matrix for query q: the precomputed base
+// features with the query-dependent column mask applied (features of unused
+// columns zeroed, §3.2) and the four per-partition selectivity estimates
+// filled in.
+func (ts *TableStats) Features(q *query.Query) [][]float64 {
+	used := make(map[int]bool)
+	for _, name := range q.Columns() {
+		if ci := ts.Schema.ColIndex(name); ci >= 0 {
+			used[ci] = true
+		}
+	}
+	m := ts.Space.Dim()
+	out := make([][]float64, len(ts.Parts))
+	est := newSelEstimator(ts, q.Pred)
+	for i, ps := range ts.Parts {
+		v := make([]float64, m)
+		copy(v, ts.base[i])
+		// Mask features of unused columns.
+		for j, meta := range ts.Space.Meta {
+			if meta.Col >= 0 && !used[meta.Col] {
+				v[j] = 0
+			}
+		}
+		upper, indep, minS, maxS := est.estimate(ps)
+		v[0], v[1], v[2], v[3] = upper, indep, minS, maxS
+		out[i] = v
+	}
+	return out
+}
+
+// Fit computes normalization divisors from a training feature sample
+// (Appendix B): every statistic is transformed (log for magnitudes, cube
+// root for selectivities) and then divided by its average value in the
+// training set, the paper's normalization. The average is chosen over the
+// max for robustness to outliers, and over the standard deviation because
+// dividing by the std would amplify noise-only features (large mean, tiny
+// spread) until they dominate the Euclidean distance. Features that are
+// ~zero throughout training get scale 1 (they then contribute nothing).
+// Rows are raw feature vectors as returned by Features.
+func (fs *FeatureSpace) Fit(trainRows [][]float64) {
+	m := fs.Dim()
+	sumAbs := make([]float64, m)
+	n := 0
+	for _, row := range trainRows {
+		if len(row) != m {
+			continue
+		}
+		n++
+		for j, x := range row {
+			sumAbs[j] += math.Abs(fs.transform(j, x))
+		}
+	}
+	scale := make([]float64, m)
+	for j := range scale {
+		scale[j] = 1
+		if n > 0 {
+			if mean := sumAbs[j] / float64(n); mean > 1e-12 {
+				scale[j] = mean
+			}
+		}
+	}
+	fs.Scale = scale
+}
+
+// transform applies the skew-reducing transform of Appendix B: cube root for
+// selectivity features (in [0,1]), signed log1p for everything else.
+func (fs *FeatureSpace) transform(j int, x float64) float64 {
+	if CategoryOf(fs.Meta[j].Kind) == CatSelectivity {
+		return math.Cbrt(x)
+	}
+	if x >= 0 {
+		return math.Log1p(x)
+	}
+	return -math.Log1p(-x)
+}
+
+// Normalize maps a raw feature vector into normalized space using the fitted
+// scale. Without a fit, the transform is applied with unit scale.
+func (fs *FeatureSpace) Normalize(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, x := range row {
+		v := fs.transform(j, x)
+		if fs.Scale != nil {
+			v /= fs.Scale[j]
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// NormalizeMatrix normalizes every row of a feature matrix.
+func (fs *FeatureSpace) NormalizeMatrix(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = fs.Normalize(r)
+	}
+	return out
+}

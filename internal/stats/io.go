@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ps3/internal/sketch"
+	"ps3/internal/table"
+)
+
+// This file persists a TableStats store: the paper's deployment keeps the
+// per-partition sketches separate from the data (§2.3.1), so a statistics
+// store built once at ingest can be loaded by any query optimizer process
+// without touching the partitions. The format is self-describing gob.
+
+// colWire is the serialized sketch set of one column in one partition.
+type colWire struct {
+	Measures *sketch.Measures
+	Hist     sketch.HistogramSnapshot
+	AKMV     sketch.AKMVSnapshot
+	HH       sketch.HeavyHitterSnapshot
+	Dict     *sketch.ExactDictSnapshot
+}
+
+// partWire is one partition's stats.
+type partWire struct {
+	Part   int
+	Rows   int
+	Cols   []colWire
+	Bitmap map[int]uint32
+}
+
+// statsWire is the full store.
+type statsWire struct {
+	Cols     []table.Column
+	DictVals []string
+	Opts     Options
+	Parts    []partWire
+	GlobalHH map[int][]uint32
+	Scale    []float64
+}
+
+// WriteTo serializes the statistics store (sketches, bitmaps, global heavy
+// hitters and fitted normalization) to w.
+func (ts *TableStats) WriteTo(w io.Writer) (int64, error) {
+	wire := statsWire{
+		Cols:     ts.Schema.Cols,
+		Opts:     ts.Opts,
+		GlobalHH: ts.GlobalHH,
+		Scale:    ts.Space.Scale,
+	}
+	for c := uint32(0); int(c) < ts.Dict.Len(); c++ {
+		wire.DictVals = append(wire.DictVals, ts.Dict.Value(c))
+	}
+	for _, ps := range ts.Parts {
+		pw := partWire{Part: ps.Part, Rows: ps.Rows, Bitmap: ps.Bitmap}
+		for _, cs := range ps.Cols {
+			hist, err := cs.Hist.Snapshot()
+			if err != nil {
+				return 0, fmt.Errorf("stats: partition %d: %w", ps.Part, err)
+			}
+			hh, err := cs.HH.Snapshot()
+			if err != nil {
+				return 0, fmt.Errorf("stats: partition %d: %w", ps.Part, err)
+			}
+			cw := colWire{
+				Measures: cs.Measures,
+				Hist:     hist,
+				AKMV:     cs.AKMV.Snapshot(),
+				HH:       hh,
+			}
+			if cs.Dict != nil {
+				snap := cs.Dict.Snapshot()
+				cw.Dict = &snap
+			}
+			pw.Cols = append(pw.Cols, cw)
+		}
+		wire.Parts = append(wire.Parts, pw)
+	}
+	cw := &countingWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(&wire); err != nil {
+		return cw.n, fmt.Errorf("stats: encode: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadStats deserializes a statistics store written with WriteTo. The
+// returned store is fully usable for feature extraction and picking; it
+// does not need (and does not reference) the original table data.
+func ReadStats(r io.Reader) (*TableStats, error) {
+	var wire statsWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("stats: decode: %w", err)
+	}
+	schema, err := table.NewSchema(wire.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	dict := table.NewDict()
+	for _, v := range wire.DictVals {
+		dict.Code(v)
+	}
+	ts := &TableStats{
+		Schema:   schema,
+		Dict:     dict,
+		Opts:     wire.Opts,
+		GlobalHH: wire.GlobalHH,
+	}
+	if ts.GlobalHH == nil {
+		ts.GlobalHH = make(map[int][]uint32)
+	}
+	for _, pw := range wire.Parts {
+		ps := &PartitionStats{Part: pw.Part, Rows: pw.Rows, Bitmap: pw.Bitmap}
+		for _, cw := range pw.Cols {
+			cs := ColumnStats{
+				Measures: cw.Measures,
+				Hist:     sketch.HistogramFromSnapshot(cw.Hist),
+				AKMV:     sketch.AKMVFromSnapshot(cw.AKMV),
+				HH:       sketch.HeavyHitterFromSnapshot(cw.HH),
+			}
+			if cw.Dict != nil {
+				cs.Dict = sketch.ExactDictFromSnapshot(*cw.Dict)
+			}
+			ps.Cols = append(ps.Cols, cs)
+		}
+		ts.Parts = append(ts.Parts, ps)
+	}
+	ts.Space = newFeatureSpace(schema, ts.GlobalHH, ts.Opts)
+	ts.Space.Scale = wire.Scale
+	ts.base = ts.buildBaseMatrix()
+	return ts, nil
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

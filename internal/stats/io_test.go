@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"bytes"
+	"testing"
+
+	"ps3/internal/query"
+)
+
+func TestStatsRoundTrip(t *testing.T) {
+	tbl := buildTestTable(t, 6, 30)
+	orig := buildStats(t, tbl)
+
+	// Fit normalization so Scale round-trips too.
+	q := &query.Query{
+		Aggs:    []query.Aggregate{{Kind: query.Sum, Expr: query.Col("x")}},
+		GroupBy: []string{"cat"},
+	}
+	orig.Space.Fit(orig.Features(q))
+
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	back, err := ReadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Parts) != len(orig.Parts) {
+		t.Fatalf("round trip: %d parts, want %d", len(back.Parts), len(orig.Parts))
+	}
+	if back.Space.Dim() != orig.Space.Dim() {
+		t.Fatalf("round trip: dim %d, want %d", back.Space.Dim(), orig.Space.Dim())
+	}
+
+	// The restored store must produce byte-identical feature matrices for
+	// arbitrary queries — that is what the picker consumes.
+	gen, err := query.NewGenerator(query.Workload{
+		GroupableCols: []string{"cat"},
+		PredicateCols: []string{"x", "y", "cat"},
+		AggCols:       []string{"x", "y"},
+	}, tbl, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		tq := gen.Sample()
+		fo := orig.Features(tq)
+		fb := back.Features(tq)
+		for i := range fo {
+			for j := range fo[i] {
+				if fo[i][j] != fb[i][j] {
+					t.Fatalf("query %v: feature [%d][%d] differs after round trip: %v vs %v",
+						tq, i, j, fo[i][j], fb[i][j])
+				}
+			}
+		}
+	}
+
+	// Normalization survives.
+	row := orig.Features(q)[0]
+	no := orig.Space.Normalize(row)
+	nb := back.Space.Normalize(row)
+	for j := range no {
+		if no[j] != nb[j] {
+			t.Fatalf("normalized feature %d differs: %v vs %v", j, no[j], nb[j])
+		}
+	}
+
+	// Sizes (Table 4 accounting) survive.
+	so, sb := orig.Sizes(), back.Sizes()
+	if so != sb {
+		t.Fatalf("size breakdown changed: %+v vs %+v", so, sb)
+	}
+}
+
+func TestReadStatsGarbage(t *testing.T) {
+	if _, err := ReadStats(bytes.NewReader([]byte("not a stats store"))); err == nil {
+		t.Fatal("want error decoding garbage")
+	}
+}
+
+func TestStatsRoundTripWithoutFit(t *testing.T) {
+	tbl := buildTestTable(t, 3, 15)
+	orig := buildStats(t, tbl)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Space.Scale != nil {
+		t.Fatalf("unfitted store came back with scale %v", back.Space.Scale)
+	}
+}

@@ -1,0 +1,39 @@
+package table
+
+// Dict is a table-global string dictionary used to encode categorical
+// columns. Codes are dense uint32 values assigned in first-seen order, so
+// equality tests on categorical values reduce to integer comparisons and the
+// per-partition storage is a compact []uint32.
+type Dict struct {
+	codes map[string]uint32
+	vals  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]uint32)}
+}
+
+// Code returns the code for v, assigning a new one if v is unseen.
+func (d *Dict) Code(v string) uint32 {
+	if c, ok := d.codes[v]; ok {
+		return c
+	}
+	c := uint32(len(d.vals))
+	d.codes[v] = c
+	d.vals = append(d.vals, v)
+	return c
+}
+
+// Lookup returns the code for v and whether it exists, without inserting.
+func (d *Dict) Lookup(v string) (uint32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// Value returns the string for code c. It panics on out-of-range codes,
+// which indicates a corrupted table.
+func (d *Dict) Value(c uint32) string { return d.vals[c] }
+
+// Len returns the number of distinct values in the dictionary.
+func (d *Dict) Len() int { return len(d.vals) }

@@ -1,0 +1,105 @@
+package table
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// tableWire is the serialized form of a Table.
+type tableWire struct {
+	Cols      []Column
+	DictVals  []string
+	PartsNum  [][][]float64
+	PartsCat  [][][]uint32
+	PartsRows []int
+}
+
+// WriteTo serializes the table to w in a self-describing binary format.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	wire := tableWire{Cols: t.Schema.Cols, DictVals: t.Dict.vals}
+	for _, p := range t.Parts {
+		wire.PartsNum = append(wire.PartsNum, p.Num)
+		wire.PartsCat = append(wire.PartsCat, p.Cat)
+		wire.PartsRows = append(wire.PartsRows, p.rows)
+	}
+	cw := &countingWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(&wire); err != nil {
+		return cw.n, fmt.Errorf("table: encode: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadTable deserializes a table previously written with WriteTo.
+func ReadTable(r io.Reader) (*Table, error) {
+	var wire tableWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("table: decode: %w", err)
+	}
+	s, err := NewSchema(wire.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDict()
+	for _, v := range wire.DictVals {
+		d.Code(v)
+	}
+	t := &Table{Schema: s, Dict: d}
+	for i := range wire.PartsNum {
+		p := &Partition{ID: i, Num: wire.PartsNum[i], Cat: wire.PartsCat[i], rows: wire.PartsRows[i]}
+		t.Parts = append(t.Parts, p)
+	}
+	return t, nil
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteCSV emits the table as CSV (header + rows) for interop and debugging.
+// Dates are written as integer day offsets.
+func (t *Table) WriteCSV(w io.Writer) error {
+	for i, c := range t.Schema.Cols {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, c.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256)
+	for _, p := range t.Parts {
+		for r := 0; r < p.Rows(); r++ {
+			buf = buf[:0]
+			for ci, col := range t.Schema.Cols {
+				if ci > 0 {
+					buf = append(buf, ',')
+				}
+				if col.IsNumeric() {
+					buf = strconv.AppendFloat(buf, p.Num[ci][r], 'g', -1, 64)
+				} else {
+					buf = append(buf, t.Dict.Value(p.Cat[ci][r])...)
+				}
+			}
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package table
+
+import "fmt"
+
+// Partition holds a horizontal slice of a table in columnar form. All rows of
+// a partition are read together; PS3 never inspects partition contents during
+// planning, only during (sampled) execution.
+type Partition struct {
+	// ID is the partition's position in the table's partition list.
+	ID int
+	// Num holds per-column numeric data; Num[c] is nil for categorical
+	// columns. All non-nil slices have equal length.
+	Num [][]float64
+	// Cat holds per-column dictionary codes; Cat[c] is nil for numeric
+	// columns.
+	Cat [][]uint32
+	// rows caches the row count.
+	rows int
+}
+
+// NewPartition allocates an empty partition for the given schema.
+func NewPartition(s *Schema) *Partition {
+	p := &Partition{
+		Num: make([][]float64, s.NumCols()),
+		Cat: make([][]uint32, s.NumCols()),
+	}
+	return p
+}
+
+// Rows returns the number of rows stored in the partition.
+func (p *Partition) Rows() int { return p.rows }
+
+// SizeBytes estimates the in-storage footprint of the partition: 8 bytes per
+// numeric cell and 4 per categorical cell. Used by the I/O accountant.
+func (p *Partition) SizeBytes() int {
+	n := 0
+	for _, col := range p.Num {
+		n += 8 * len(col)
+	}
+	for _, col := range p.Cat {
+		n += 4 * len(col)
+	}
+	return n
+}
+
+// checkWidth verifies the row slice matches the schema width.
+func checkWidth(s *Schema, numVals []float64, catVals []uint32) error {
+	if len(numVals) != s.NumCols() || len(catVals) != s.NumCols() {
+		return fmt.Errorf("table: row width %d/%d does not match schema width %d",
+			len(numVals), len(catVals), s.NumCols())
+	}
+	return nil
+}
+
+// Builder accumulates rows into partitions of a fixed target size and
+// produces a Table. It is the ingest path: datasets append rows in arrival
+// order, and a partition is sealed (and becomes immutable) when it reaches
+// rowsPerPart rows.
+type Builder struct {
+	schema      *Schema
+	dict        *Dict
+	rowsPerPart int
+	parts       []*Partition
+	cur         *Partition
+}
+
+// NewBuilder returns a Builder producing partitions of rowsPerPart rows.
+func NewBuilder(s *Schema, rowsPerPart int) (*Builder, error) {
+	if rowsPerPart <= 0 {
+		return nil, fmt.Errorf("table: rowsPerPart must be positive, got %d", rowsPerPart)
+	}
+	return &Builder{schema: s, dict: NewDict(), rowsPerPart: rowsPerPart}, nil
+}
+
+// Dict exposes the builder's dictionary so generators can pre-encode values.
+func (b *Builder) Dict() *Dict { return b.dict }
+
+// Schema returns the schema rows must conform to.
+func (b *Builder) Schema() *Schema { return b.schema }
+
+// Append adds one row. num[c] is consulted for numeric columns and cat[c]
+// (a string) for categorical columns; the other entry is ignored.
+func (b *Builder) Append(num []float64, cat []string) error {
+	if len(num) != b.schema.NumCols() || len(cat) != b.schema.NumCols() {
+		return fmt.Errorf("table: row width %d/%d does not match schema width %d",
+			len(num), len(cat), b.schema.NumCols())
+	}
+	if b.cur == nil {
+		b.cur = NewPartition(b.schema)
+		b.cur.ID = len(b.parts)
+	}
+	p := b.cur
+	for c, col := range b.schema.Cols {
+		if col.IsNumeric() {
+			p.Num[c] = append(p.Num[c], num[c])
+		} else {
+			p.Cat[c] = append(p.Cat[c], b.dict.Code(cat[c]))
+		}
+	}
+	p.rows++
+	if p.rows >= b.rowsPerPart {
+		b.parts = append(b.parts, p)
+		b.cur = nil
+	}
+	return nil
+}
+
+// Finish seals any pending partition and returns the completed Table. The
+// builder must not be reused afterwards.
+func (b *Builder) Finish() *Table {
+	if b.cur != nil && b.cur.rows > 0 {
+		b.parts = append(b.parts, b.cur)
+		b.cur = nil
+	}
+	return &Table{Schema: b.schema, Dict: b.dict, Parts: b.parts}
+}

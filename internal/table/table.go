@@ -1,0 +1,183 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+)
+
+// Table is a partitioned dataset: an ordered list of immutable partitions
+// sharing one schema and one categorical dictionary.
+type Table struct {
+	Schema *Schema
+	Dict   *Dict
+	Parts  []*Partition
+
+	// readCount tracks partition reads for I/O accounting.
+	readCount atomic.Int64
+	readBytes atomic.Int64
+}
+
+// NumParts returns the number of partitions.
+func (t *Table) NumParts() int { return len(t.Parts) }
+
+// NumRows returns the total row count across partitions.
+func (t *Table) NumRows() int {
+	n := 0
+	for _, p := range t.Parts {
+		n += p.Rows()
+	}
+	return n
+}
+
+// Read returns partition i, charging one partition read to the accountant.
+// Query execution must access partitions through Read so that experiments
+// can attribute I/O.
+func (t *Table) Read(i int) *Partition {
+	p := t.Parts[i]
+	t.readCount.Add(1)
+	t.readBytes.Add(int64(p.SizeBytes()))
+	return p
+}
+
+// ResetIO clears the I/O counters.
+func (t *Table) ResetIO() {
+	t.readCount.Store(0)
+	t.readBytes.Store(0)
+}
+
+// IOStats reports partitions and bytes read since the last ResetIO.
+func (t *Table) IOStats() (parts int64, bytes int64) {
+	return t.readCount.Load(), t.readBytes.Load()
+}
+
+// TotalBytes returns the full storage footprint of the table.
+func (t *Table) TotalBytes() int {
+	n := 0
+	for _, p := range t.Parts {
+		n += p.SizeBytes()
+	}
+	return n
+}
+
+// rowRef addresses one row for re-layout operations.
+type rowRef struct {
+	part, row int
+}
+
+// numAt returns the numeric value of column c at row r (NaN for categorical).
+func numAt(p *Partition, c, r int) float64 {
+	if p.Num[c] != nil {
+		return p.Num[c][r]
+	}
+	return 0
+}
+
+// Relayout produces a new table with the same rows re-ordered by less and
+// re-partitioned into numParts near-equal partitions. It is how the dataset
+// generators realize the paper's "sorted by column X" and "random" layouts.
+// less compares two rows given (partition, row) coordinates.
+func (t *Table) Relayout(numParts int, less func(a, b rowRef) bool, shuffle *rand.Rand) (*Table, error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("table: numParts must be positive, got %d", numParts)
+	}
+	refs := make([]rowRef, 0, t.NumRows())
+	for pi, p := range t.Parts {
+		for r := 0; r < p.Rows(); r++ {
+			refs = append(refs, rowRef{pi, r})
+		}
+	}
+	switch {
+	case shuffle != nil:
+		shuffle.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	case less != nil:
+		sort.SliceStable(refs, func(i, j int) bool { return less(refs[i], refs[j]) })
+	}
+	return t.gather(refs, numParts), nil
+}
+
+// SortBy returns a copy of the table sorted by the named columns (ascending,
+// ties broken by later columns) and split into numParts partitions.
+func (t *Table) SortBy(numParts int, cols ...string) (*Table, error) {
+	idx := make([]int, 0, len(cols))
+	for _, name := range cols {
+		ci := t.Schema.ColIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("table: sort column %q not in schema", name)
+		}
+		idx = append(idx, ci)
+	}
+	less := func(a, b rowRef) bool {
+		pa, pb := t.Parts[a.part], t.Parts[b.part]
+		for _, c := range idx {
+			if t.Schema.Cols[c].IsNumeric() {
+				va, vb := numAt(pa, c, a.row), numAt(pb, c, b.row)
+				if va != vb {
+					return va < vb
+				}
+			} else {
+				va, vb := t.Dict.Value(pa.Cat[c][a.row]), t.Dict.Value(pb.Cat[c][b.row])
+				if va != vb {
+					return va < vb
+				}
+			}
+		}
+		return false
+	}
+	return t.Relayout(numParts, less, nil)
+}
+
+// Shuffled returns a randomly re-ordered copy of the table split into
+// numParts partitions, using rng for reproducibility.
+func (t *Table) Shuffled(numParts int, rng *rand.Rand) (*Table, error) {
+	return t.Relayout(numParts, nil, rng)
+}
+
+// Repartition keeps the current row order but re-chunks into numParts
+// partitions.
+func (t *Table) Repartition(numParts int) (*Table, error) {
+	return t.Relayout(numParts, nil, nil)
+}
+
+// gather materializes a new table from an ordered list of row references.
+func (t *Table) gather(refs []rowRef, numParts int) *Table {
+	out := &Table{Schema: t.Schema, Dict: t.Dict}
+	total := len(refs)
+	base := total / numParts
+	extra := total % numParts
+	start := 0
+	for pi := 0; pi < numParts && start < total; pi++ {
+		size := base
+		if pi < extra {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		np := NewPartition(t.Schema)
+		np.ID = len(out.Parts)
+		for c, col := range t.Schema.Cols {
+			if col.IsNumeric() {
+				np.Num[c] = make([]float64, size)
+			} else {
+				np.Cat[c] = make([]uint32, size)
+			}
+		}
+		for i := 0; i < size; i++ {
+			ref := refs[start+i]
+			src := t.Parts[ref.part]
+			for c, col := range t.Schema.Cols {
+				if col.IsNumeric() {
+					np.Num[c][i] = src.Num[c][ref.row]
+				} else {
+					np.Cat[c][i] = src.Cat[c][ref.row]
+				}
+			}
+		}
+		np.rows = size
+		out.Parts = append(out.Parts, np)
+		start += size
+	}
+	return out
+}

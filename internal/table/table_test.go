@@ -1,0 +1,356 @@
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	if t != nil {
+		t.Helper()
+	}
+	return MustSchema(
+		Column{Name: "x", Kind: Numeric},
+		Column{Name: "cat", Kind: Categorical},
+		Column{Name: "d", Kind: Date},
+	)
+}
+
+func buildTestTable(t *testing.T, rows, rowsPerPart int) *Table {
+	if t != nil {
+		t.Helper()
+	}
+	fatal := func(err error) {
+		if err == nil {
+			return
+		}
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	b, err := NewBuilder(testSchema(t), rowsPerPart)
+	fatal(err)
+	for i := 0; i < rows; i++ {
+		num := []float64{float64(i), 0, float64(i % 7)}
+		cat := []string{"", fmt.Sprintf("c%d", i%5), ""}
+		fatal(b.Append(num, cat))
+	}
+	return b.Finish()
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a"}, Column{Name: "a"}); err == nil {
+		t.Error("duplicate column names should be rejected")
+	}
+	if _, err := NewSchema(Column{Name: ""}); err == nil {
+		t.Error("empty column name should be rejected")
+	}
+	s := testSchema(t)
+	if got := s.ColIndex("cat"); got != 1 {
+		t.Errorf("ColIndex(cat) = %d, want 1", got)
+	}
+	if got := s.ColIndex("nope"); got != -1 {
+		t.Errorf("ColIndex(nope) = %d, want -1", got)
+	}
+	if got := len(s.NumericCols()); got != 2 {
+		t.Errorf("NumericCols = %d, want 2 (numeric + date)", got)
+	}
+	if got := len(s.CategoricalCols()); got != 1 {
+		t.Errorf("CategoricalCols = %d, want 1", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Numeric: "numeric", Categorical: "categorical", Date: "date"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	c1 := d.Code("alpha")
+	c2 := d.Code("beta")
+	if c1 == c2 {
+		t.Fatal("distinct values got the same code")
+	}
+	if d.Code("alpha") != c1 {
+		t.Error("re-encoding a value must return its original code")
+	}
+	if got := d.Value(c2); got != "beta" {
+		t.Errorf("Value(%d) = %q, want beta", c2, got)
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Error("Lookup of unseen value must report absence")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestBuilderPartitionSizes(t *testing.T) {
+	tbl := buildTestTable(t, 1050, 100)
+	if got := tbl.NumParts(); got != 11 {
+		t.Fatalf("NumParts = %d, want 11 (10 full + 1 partial)", got)
+	}
+	if got := tbl.NumRows(); got != 1050 {
+		t.Fatalf("NumRows = %d, want 1050", got)
+	}
+	if got := tbl.Parts[10].Rows(); got != 50 {
+		t.Errorf("last partition has %d rows, want 50", got)
+	}
+	for i, p := range tbl.Parts {
+		if p.ID != i {
+			t.Errorf("partition %d has ID %d", i, p.ID)
+		}
+	}
+}
+
+func TestBuilderRejectsBadWidth(t *testing.T) {
+	b, err := NewBuilder(testSchema(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([]float64{1}, []string{"a"}); err == nil {
+		t.Error("Append with wrong row width should fail")
+	}
+	if _, err := NewBuilder(testSchema(t), 0); err == nil {
+		t.Error("NewBuilder with non-positive rowsPerPart should fail")
+	}
+}
+
+func TestReadAccounting(t *testing.T) {
+	tbl := buildTestTable(t, 300, 100)
+	tbl.ResetIO()
+	tbl.Read(0)
+	tbl.Read(2)
+	parts, bytesRead := tbl.IOStats()
+	if parts != 2 {
+		t.Errorf("IOStats parts = %d, want 2", parts)
+	}
+	want := int64(tbl.Parts[0].SizeBytes() + tbl.Parts[2].SizeBytes())
+	if bytesRead != want {
+		t.Errorf("IOStats bytes = %d, want %d", bytesRead, want)
+	}
+	tbl.ResetIO()
+	if p, b := tbl.IOStats(); p != 0 || b != 0 {
+		t.Error("ResetIO did not clear counters")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tbl := buildTestTable(t, 100, 100)
+	// 2 numeric cols × 8 bytes + 1 categorical × 4 bytes per row.
+	want := 100 * (2*8 + 4)
+	if got := tbl.Parts[0].SizeBytes(); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+	if got := tbl.TotalBytes(); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestSortByNumeric(t *testing.T) {
+	b, _ := NewBuilder(testSchema(t), 10)
+	vals := []float64{5, 3, 9, 1, 7, 2, 8, 0, 6, 4}
+	for _, v := range vals {
+		_ = b.Append([]float64{v, 0, 0}, []string{"", "k", ""})
+	}
+	tbl := b.Finish()
+	sorted, err := tbl.SortBy(2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.NumParts() != 2 {
+		t.Fatalf("NumParts = %d, want 2", sorted.NumParts())
+	}
+	var got []float64
+	for _, p := range sorted.Parts {
+		got = append(got, p.Num[0]...)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+	if tbl.Parts[0].Num[0][0] != 5 {
+		t.Error("SortBy must not mutate the source table")
+	}
+}
+
+func TestSortByCategorical(t *testing.T) {
+	b, _ := NewBuilder(testSchema(t), 10)
+	cats := []string{"pear", "apple", "mango", "apple", "fig"}
+	for i, c := range cats {
+		_ = b.Append([]float64{float64(i), 0, 0}, []string{"", c, ""})
+	}
+	tbl := b.Finish()
+	sorted, err := tbl.SortBy(1, "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ""
+	for r := 0; r < sorted.Parts[0].Rows(); r++ {
+		v := sorted.Dict.Value(sorted.Parts[0].Cat[1][r])
+		if v < prev {
+			t.Fatalf("categorical sort broken at row %d: %q < %q", r, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSortByUnknownColumn(t *testing.T) {
+	tbl := buildTestTable(t, 10, 5)
+	if _, err := tbl.SortBy(2, "missing"); err == nil {
+		t.Error("SortBy on a missing column should fail")
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	tbl := buildTestTable(t, 500, 50)
+	shuf, err := tbl.Shuffled(7, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuf.NumRows() != 500 {
+		t.Fatalf("shuffled table has %d rows, want 500", shuf.NumRows())
+	}
+	if shuf.NumParts() != 7 {
+		t.Fatalf("shuffled table has %d parts, want 7", shuf.NumParts())
+	}
+	sumOrig, sumShuf := 0.0, 0.0
+	for _, p := range tbl.Parts {
+		for _, v := range p.Num[0] {
+			sumOrig += v
+		}
+	}
+	for _, p := range shuf.Parts {
+		for _, v := range p.Num[0] {
+			sumShuf += v
+		}
+	}
+	if sumOrig != sumShuf {
+		t.Errorf("shuffle changed content: sum %f vs %f", sumOrig, sumShuf)
+	}
+}
+
+func TestRepartitionKeepsOrder(t *testing.T) {
+	tbl := buildTestTable(t, 100, 10)
+	re, err := tbl.Repartition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumParts() != 4 {
+		t.Fatalf("NumParts = %d, want 4", re.NumParts())
+	}
+	var got []float64
+	for _, p := range re.Parts {
+		got = append(got, p.Num[0]...)
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("row order changed at %d: got %v", i, v)
+		}
+	}
+}
+
+func TestRelayoutInvalidParts(t *testing.T) {
+	tbl := buildTestTable(t, 10, 5)
+	if _, err := tbl.Repartition(0); err == nil {
+		t.Error("Repartition(0) should fail")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tbl := buildTestTable(t, 230, 60)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() || got.NumParts() != tbl.NumParts() {
+		t.Fatalf("round trip: %d rows/%d parts, want %d/%d",
+			got.NumRows(), got.NumParts(), tbl.NumRows(), tbl.NumParts())
+	}
+	for pi := range tbl.Parts {
+		for r := 0; r < tbl.Parts[pi].Rows(); r++ {
+			if tbl.Parts[pi].Num[0][r] != got.Parts[pi].Num[0][r] {
+				t.Fatalf("numeric mismatch at part %d row %d", pi, r)
+			}
+			a := tbl.Dict.Value(tbl.Parts[pi].Cat[1][r])
+			b := got.Dict.Value(got.Parts[pi].Cat[1][r])
+			if a != b {
+				t.Fatalf("categorical mismatch at part %d row %d: %q vs %q", pi, r, a, b)
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := buildTestTable(t, 3, 3)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4 (header+3)", len(lines))
+	}
+	if lines[0] != "x,cat,d" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,c0,0" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+// Property: relayout by any permutation preserves the multiset of rows.
+func TestRelayoutPropertyPreservesRows(t *testing.T) {
+	f := func(seed int64, partsIn uint8) bool {
+		numParts := int(partsIn%20) + 1
+		tbl := buildTestTable(nil, 200, 20)
+		shuf, err := tbl.Shuffled(numParts, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if shuf.NumRows() != 200 {
+			return false
+		}
+		seen := make(map[float64]int)
+		for _, p := range shuf.Parts {
+			for _, v := range p.Num[0] {
+				seen[v]++
+			}
+		}
+		for i := 0; i < 200; i++ {
+			if seen[float64(i)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dictionary codes round-trip for arbitrary strings.
+func TestDictProperty(t *testing.T) {
+	d := NewDict()
+	f := func(s string) bool {
+		c := d.Code(s)
+		return d.Value(c) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package ps3 is the public API of this repository: a from-scratch Go
+// reproduction of "Approximate Partition Selection for Big-Data Workloads
+// using Summary Statistics" (Rong et al., VLDB 2020).
+//
+// PS3 answers single-table aggregation queries approximately by reading only
+// a subset of data partitions and combining the partial answers with
+// weights. The selection is driven entirely by lightweight per-partition
+// summary statistics — measures, equi-depth histograms, AKMV distinct-value
+// sketches and lossy-counting heavy hitters — plus a learned importance
+// funnel, similarity clustering and heavy-hitter-bitmap outlier detection.
+//
+// # Quick start
+//
+//	schema := ps3.MustSchema(
+//	    ps3.Column{Name: "price", Kind: ps3.Numeric, Positive: true},
+//	    ps3.Column{Name: "region", Kind: ps3.Categorical},
+//	)
+//	b, _ := ps3.NewBuilder(schema, 1000) // 1000 rows per partition
+//	// ... b.Append(...) for every row ...
+//	tbl := b.Finish()
+//
+//	sys, _ := ps3.Open(tbl, ps3.Options{Workload: ps3.Workload{
+//	    GroupableCols: []string{"region"},
+//	    PredicateCols: []string{"price", "region"},
+//	    AggCols:       []string{"price"},
+//	}})
+//	gen, _ := ps3.NewGenerator(sys.Opts.Workload, tbl, 42)
+//	_ = sys.Train(gen.SampleN(200), nil) // offline, once per workload
+//
+//	q := &ps3.Query{
+//	    Aggs:    []ps3.Aggregate{{Kind: ps3.Sum, Expr: ps3.Col("price")}},
+//	    GroupBy: []string{"region"},
+//	}
+//	res, _ := sys.Run(q, 0.01) // read ~1% of partitions
+//
+// The sub-packages live under internal/ and are re-exported here; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package ps3
+
+import (
+	"ps3/internal/core"
+	"ps3/internal/diagnose"
+	"ps3/internal/metrics"
+	"ps3/internal/picker"
+	"ps3/internal/query"
+	"ps3/internal/sketch"
+	sqlparse "ps3/internal/sql"
+	"ps3/internal/stats"
+	"ps3/internal/table"
+)
+
+// --- Storage substrate (internal/table) ---
+
+// Table is a partitioned columnar dataset with partition-granular access and
+// I/O accounting.
+type Table = table.Table
+
+// Schema is an ordered list of columns.
+type Schema = table.Schema
+
+// Column describes one column of a schema.
+type Column = table.Column
+
+// ColumnKind enumerates column storage types.
+type ColumnKind = table.Kind
+
+// Column kinds.
+const (
+	Numeric     = table.Numeric
+	Categorical = table.Categorical
+	Date        = table.Date
+)
+
+// Builder ingests rows and seals them into fixed-size partitions.
+type Builder = table.Builder
+
+// Dict is the shared dictionary encoding categorical values.
+type Dict = table.Dict
+
+// Partition is one immutable chunk of rows.
+type Partition = table.Partition
+
+// NewSchema builds a schema, validating column-name uniqueness.
+func NewSchema(cols ...Column) (*Schema, error) { return table.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error; for static schemas.
+func MustSchema(cols ...Column) *Schema { return table.MustSchema(cols...) }
+
+// NewBuilder returns a table builder producing partitions of rowsPerPart
+// rows.
+func NewBuilder(s *Schema, rowsPerPart int) (*Builder, error) {
+	return table.NewBuilder(s, rowsPerPart)
+}
+
+// ReadTable deserializes a table written with Table.WriteTo.
+var ReadTable = table.ReadTable
+
+// --- Query model (internal/query) ---
+
+// Query is a single-table aggregation query within PS3's scope (§2.2 of the
+// paper): SUM/COUNT/AVG aggregates over linear column expressions, an
+// optional predicate tree, and an optional GROUP BY.
+type Query = query.Query
+
+// Aggregate is one aggregate in the SELECT list; a non-nil Filter restricts
+// it to matching rows (the CASE-condition rewrite of §2.2).
+type Aggregate = query.Aggregate
+
+// AggKind enumerates aggregate functions.
+type AggKind = query.AggKind
+
+// Aggregate kinds.
+const (
+	Sum   = query.Sum
+	Count = query.Count
+	Avg   = query.Avg
+)
+
+// LinearExpr is a ±-linear combination of numeric columns plus a constant.
+type LinearExpr = query.LinearExpr
+
+// Col returns the expression consisting of one column.
+func Col(name string) LinearExpr { return query.Col(name) }
+
+// Pred is a predicate tree node: And, Or, Not or Clause.
+type Pred = query.Pred
+
+// Clause is a single-column comparison (c op v).
+type Clause = query.Clause
+
+// And, Or, Not are predicate combinators.
+type (
+	And = query.And
+	Or  = query.Or
+	Not = query.Not
+)
+
+// Comparison operators for clauses.
+const (
+	OpEq = query.OpEq
+	OpNe = query.OpNe
+	OpLt = query.OpLt
+	OpLe = query.OpLe
+	OpGt = query.OpGt
+	OpGe = query.OpGe
+	OpIn = query.OpIn
+)
+
+// NewAnd returns the conjunction of preds, simplifying singletons.
+func NewAnd(preds ...Pred) Pred { return query.NewAnd(preds...) }
+
+// NewOr returns the disjunction of preds, simplifying singletons.
+func NewOr(preds ...Pred) Pred { return query.NewOr(preds...) }
+
+// Workload declares the aggregate functions, predicate columns and group-by
+// columnsets PS3 is trained for.
+type Workload = query.Workload
+
+// Generator samples random queries from a workload over a concrete table.
+type Generator = query.Generator
+
+// NewGenerator validates the workload against the table schema and returns
+// a seeded query sampler.
+func NewGenerator(w Workload, t *Table, seed int64) (*Generator, error) {
+	return query.NewGenerator(w, t, seed)
+}
+
+// WeightedPartition is one (partition, weight) choice in a sample; partial
+// answers combine as Σ wᵢ·Aᵢ (paper §2.4).
+type WeightedPartition = query.WeightedPartition
+
+// ParseSQL parses SQL text within the paper's query scope into a Query,
+// also returning the table name from the FROM clause:
+//
+//	q, _, err := ps3.ParseSQL(`SELECT region, SUM(price) FROM sales
+//	                           WHERE price > 10 GROUP BY region`)
+//
+// Supported: SUM/COUNT(*)/AVG over ±-linear expressions, FILTER (WHERE ...)
+// aggregates, AND/OR/NOT predicates over =, !=, <>, <, <=, >, >=, IN,
+// BETWEEN, and GROUP BY.
+func ParseSQL(src string) (*Query, string, error) { return sqlparse.Parse(src) }
+
+// MustParseSQL is ParseSQL that panics on error; for static queries.
+func MustParseSQL(src string) *Query { return sqlparse.MustParse(src) }
+
+// --- System facade (internal/core) ---
+
+// System is a PS3 instance bound to one table and workload: statistics
+// builder + trained partition picker + weighted executor.
+type System = core.System
+
+// Options configures a System.
+type Options = core.Options
+
+// Result is the outcome of an approximate query execution.
+type Result = core.Result
+
+// Open builds the summary statistics for t (the offline "stats builder"
+// pass); call Train before Run.
+func Open(t *Table, opts Options) (*System, error) { return core.New(t, opts) }
+
+// OpenWithStats binds a System to t using a pre-built statistics store
+// (e.g. restored via ReadStats), skipping the sketch-building pass.
+func OpenWithStats(t *Table, ts *TableStats, opts Options) (*System, error) {
+	return core.NewFromStats(t, ts, opts)
+}
+
+// --- Statistics and metrics ---
+
+// StatsOptions configures the statistics builder (histogram buckets, AKMV
+// k, heavy-hitter support, bitmap width).
+type StatsOptions = stats.Options
+
+// TableStats is the per-partition summary-statistics store.
+type TableStats = stats.TableStats
+
+// BuildStats constructs all sketches for every partition of t directly,
+// without the System facade.
+func BuildStats(t *Table, opts StatsOptions) (*TableStats, error) { return stats.Build(t, opts) }
+
+// ReadStats deserializes a statistics store written with TableStats.WriteTo.
+// The store is fully usable for feature extraction and partition picking
+// without access to the original data — the paper's deployment model, where
+// sketches live separately from partitions (§2.3.1).
+var ReadStats = stats.ReadStats
+
+// Errors summarizes estimate quality: missed groups, average relative error
+// and absolute-error-over-true (paper §5.1.4).
+type Errors = metrics.Errors
+
+// CompareAnswers scores an estimated answer against the truth.
+func CompareAnswers(truth, est map[string][]float64) Errors { return metrics.Compare(truth, est) }
+
+// --- Sketches (internal/sketch), exposed for standalone use ---
+
+// Measures tracks min/max/moments (and log moments for positive columns).
+type Measures = sketch.Measures
+
+// Histogram is a one-pass equi-depth histogram.
+type Histogram = sketch.Histogram
+
+// AKMV is a K-minimum-values distinct-count sketch with frequencies.
+type AKMV = sketch.AKMV
+
+// HeavyHitter tracks frequent items via lossy counting.
+type HeavyHitter = sketch.HeavyHitter
+
+// NewMeasures returns a measures sketch; positive enables log moments.
+func NewMeasures(positive bool) *Measures { return sketch.NewMeasures(positive) }
+
+// NewHistogram returns an equi-depth histogram with the given bucket count.
+func NewHistogram(buckets int) *Histogram { return sketch.NewHistogram(buckets) }
+
+// NewAKMV returns an AKMV sketch keeping the k minimum hashes. Values must
+// be hashed (e.g. with Hash64) before Add: the distinct estimate assumes
+// uniformly distributed inputs.
+func NewAKMV(k int) *AKMV { return sketch.NewAKMV(k) }
+
+// Hash64 is the 64-bit mix PS3 uses to hash values into sketch space.
+func Hash64(x uint64) uint64 { return sketch.Hash64(x) }
+
+// --- Diagnostics (paper §7 "diagnostic procedures for failure cases") ---
+
+// Finding is one diagnostic result: a known PS3 failure mode that applies
+// to the query or layout under inspection.
+type Finding = diagnose.Finding
+
+// Diagnostic severities.
+const (
+	DiagInfo     = diagnose.Info
+	DiagWarn     = diagnose.Warn
+	DiagCritical = diagnose.Critical
+)
+
+// DiagnoseQuery flags the failure modes the paper documents for a query:
+// high-cardinality GROUP BY (§2.2), complex predicates (Appendix B.1),
+// highly selective predicates (§4.2), and columns outside the trained
+// workload (§2.1).
+func DiagnoseQuery(q *Query, ts *TableStats, wl Workload) []Finding {
+	return diagnose.Query(q, ts, wl, diagnose.Options{})
+}
+
+// DiagnoseLayout reports whether the data layout is effectively random for
+// the workload, in which case uniform sampling is already optimal and PS3
+// should not be used (§5.5.1, Fig 8).
+func DiagnoseLayout(ts *TableStats, wl Workload) []Finding {
+	return diagnose.Layout(ts, wl)
+}
+
+// --- Variance analysis (Appendix D) ---
+
+// HTVariance estimates the Horvitz–Thompson estimator's variance for a
+// total under uniform Poisson sampling at rate p, from the sampled units'
+// contributions (Appendix D.2, Eq 3).
+func HTVariance(values []float64, p float64) float64 { return picker.HTVariance(values, p) }
+
+// PartitionVsRowVariance compares the true estimator variance of uniform
+// partition-level vs row-level Poisson sampling at the same sampling
+// fraction (Appendix D.2, Eq 4–5): partition-level is larger by the cross
+// terms of rows sharing a partition.
+func PartitionVsRowVariance(partitionTotals []float64, rowValues [][]float64, p float64) (partVar, rowVar float64) {
+	return picker.PartitionVsRowVariance(partitionTotals, rowValues, p)
+}
+
+// NewHeavyHitter returns a lossy-counting sketch with the given support
+// threshold (e.g. 0.01 tracks items above 1% frequency).
+func NewHeavyHitter(support float64) *HeavyHitter { return sketch.NewHeavyHitter(support) }
