@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench vet fmt-check verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race pass over the parallel execution surface: the scan engine and
+# every layer that fans out onto it.
+race:
+	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+vet: fmt-check
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+verify: build vet test

@@ -14,12 +14,16 @@ package ps3
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"ps3/internal/dataset"
+	"ps3/internal/exec"
 	"ps3/internal/experiments"
 	"ps3/internal/picker"
+	"ps3/internal/query"
 )
 
 // benchCfg is deliberately small: each artifact regenerates in seconds. Use
@@ -299,6 +303,113 @@ func BenchmarkEndToEndRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel scan engine: speedup over the sequential baseline ---
+
+// scanFixture builds a table large enough that partition scanning dominates
+// setup, plus a compiled group-by query over it.
+func scanFixture(b *testing.B) (*Table, *query.Compiled) {
+	b.Helper()
+	ds, err := dataset.ByName("aria", dataset.Config{Rows: 120_000, Parts: 96, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := query.NewGenerator(ds.Workload, ds.Table, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := query.Compile(gen.Sample(), ds.Table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Table, c
+}
+
+// BenchmarkGroundTruthSequential is the single-worker baseline for the
+// speedup metric below.
+func BenchmarkGroundTruthSequential(b *testing.B) {
+	tbl, c := scanFixture(b)
+	c.Exec = exec.Options{Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.GroundTruth(tbl)
+	}
+}
+
+// BenchmarkGroundTruthParallel scans with GOMAXPROCS workers and reports
+// the speedup over a sequential scan of the same table measured in-run.
+func BenchmarkGroundTruthParallel(b *testing.B) {
+	tbl, c := scanFixture(b)
+	c.Exec = exec.Options{Parallelism: 1}
+	const seqIters = 3
+	seqStart := time.Now()
+	for i := 0; i < seqIters; i++ {
+		c.GroundTruth(tbl)
+	}
+	seqPer := time.Since(seqStart) / seqIters
+	c.Exec = exec.Options{Parallelism: 0} // GOMAXPROCS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.GroundTruth(tbl)
+	}
+	b.StopTimer()
+	parPer := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(seqPer)/float64(parPer), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// trainFixture returns an untrained system and training queries for the
+// MakeExamples (offline pass) benchmarks.
+func trainFixture(b *testing.B, parallelism int) (*System, []*Query) {
+	b.Helper()
+	ds, err := dataset.ByName("aria", dataset.Config{Rows: 40_000, Parts: 64, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := Open(ds.Table, Options{Workload: ds.Workload, Seed: 5, Parallelism: parallelism})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := NewGenerator(ds.Workload, ds.Table, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, gen.SampleN(24)
+}
+
+// BenchmarkTrainSequential is the single-worker baseline of the offline
+// example-preparation pass (one full scan per training query).
+func BenchmarkTrainSequential(b *testing.B) {
+	sys, qs := trainFixture(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.MakeExamples(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainParallel fans MakeExamples out across queries and reports
+// the speedup over the sequential pass measured in-run.
+func BenchmarkTrainParallel(b *testing.B) {
+	seq, qs := trainFixture(b, 1)
+	seqStart := time.Now()
+	if _, err := seq.MakeExamples(qs); err != nil {
+		b.Fatal(err)
+	}
+	seqPer := time.Since(seqStart)
+	sys, _ := trainFixture(b, 0) // GOMAXPROCS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.MakeExamples(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parPer := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(seqPer)/float64(parPer), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 func BenchmarkExactRun(b *testing.B) {

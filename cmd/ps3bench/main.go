@@ -8,7 +8,9 @@
 //	ps3bench -exp all                          # everything
 //
 // Scale flags (-rows, -parts, -train, -test, -runs) trade fidelity for
-// runtime; defaults complete in minutes on a laptop.
+// runtime; defaults complete in minutes on a laptop. All scans run on the
+// shared internal/exec worker pool; -parallelism bounds its width without
+// changing any reported number.
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 		budgets = flag.String("budgets", "", "comma-separated budget fractions (default 0.01,0.05,0.1,0.2,0.4,0.6,0.8)")
 		noFS    = flag.Bool("no-feature-selection", false, "disable Algorithm 3 feature selection")
 		seed    = flag.Int64("seed", 42, "master random seed")
+		par     = flag.Int("parallelism", 0, "worker goroutines for partition scans and per-query evaluation (0 = GOMAXPROCS; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -43,6 +46,7 @@ func main() {
 		TrainQueries: *train, TestQueries: *test,
 		Runs: *runs, Seed: *seed,
 		NoFeatureSelection: *noFS,
+		Parallelism:        *par,
 	}
 	if *ds != "" && !validDataset(*ds) {
 		fatalf("unknown dataset %q (want one of %s)", *ds, strings.Join(dataset.Names(), "|"))

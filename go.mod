@@ -1,0 +1,3 @@
+module ps3
+
+go 1.24

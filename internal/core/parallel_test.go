@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"ps3/internal/dataset"
+	"ps3/internal/query"
+)
+
+// parallelFixture builds an untrained system plus a query sample at the
+// given parallelism.
+func parallelFixture(t *testing.T, parallelism int) (*System, []*query.Query) {
+	t.Helper()
+	ds, err := dataset.Aria(dataset.Config{Rows: 8000, Parts: 40, Seed: 3})
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	sys, err := New(ds.Table, Options{Workload: ds.Workload, Seed: 7, Parallelism: parallelism})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	gen, err := query.NewGenerator(ds.Workload, ds.Table, 21)
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	return sys, gen.SampleN(12)
+}
+
+// requireIdenticalValues asserts two FinalValues maps agree bit-for-bit.
+func requireIdenticalValues(t *testing.T, label string, want, got map[string][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got), len(want))
+	}
+	for g, wv := range want {
+		gv, ok := got[g]
+		if !ok {
+			t.Fatalf("%s: missing group %x", label, g)
+		}
+		for j := range wv {
+			if math.Float64bits(gv[j]) != math.Float64bits(wv[j]) {
+				t.Fatalf("%s: group %x agg %d: %v != %v", label, g, j, gv[j], wv[j])
+			}
+		}
+	}
+}
+
+// TestMakeExamplesParallelEquivalence checks the offline training pass
+// produces byte-identical examples at parallelism 1, 2, and GOMAXPROCS.
+func TestMakeExamplesParallelEquivalence(t *testing.T) {
+	seq, queries := parallelFixture(t, 1)
+	want, err := seq.MakeExamples(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, runtime.GOMAXPROCS(0)} {
+		sys, _ := parallelFixture(t, par)
+		got, err := sys.MakeExamples(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("par=%d: %d examples, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			label := queries[i].String()
+			requireIdenticalValues(t, label, want[i].TruthVals, got[i].TruthVals)
+			if len(got[i].Contrib) != len(want[i].Contrib) {
+				t.Fatalf("%s: contrib length %d, want %d", label, len(got[i].Contrib), len(want[i].Contrib))
+			}
+			for j := range want[i].Contrib {
+				if math.Float64bits(got[i].Contrib[j]) != math.Float64bits(want[i].Contrib[j]) {
+					t.Fatalf("%s: contrib[%d] = %v, want %v", label, j, got[i].Contrib[j], want[i].Contrib[j])
+				}
+			}
+			for j := range want[i].Features {
+				for k := range want[i].Features[j] {
+					if got[i].Features[j][k] != want[i].Features[j][k] {
+						t.Fatalf("%s: feature [%d][%d] differs", label, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunExactParallelEquivalence checks the exact execution path end to
+// end across parallelism levels.
+func TestRunExactParallelEquivalence(t *testing.T) {
+	seq, queries := parallelFixture(t, 1)
+	for _, par := range []int{2, runtime.GOMAXPROCS(0)} {
+		sys, _ := parallelFixture(t, par)
+		for _, q := range queries {
+			want, err := seq.RunExact(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sys.RunExact(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalValues(t, q.String(), want.Values, got.Values)
+		}
+	}
+}
+
+// TestTrainedRunParallelEquivalence trains two systems that differ only in
+// parallelism and checks Run returns identical selections and values (the
+// pick RNG is seeded, so the whole online path must be deterministic).
+func TestTrainedRunParallelEquivalence(t *testing.T) {
+	seq, queries := parallelFixture(t, 1)
+	if err := seq.Train(queries, nil); err != nil {
+		t.Fatal(err)
+	}
+	par, _ := parallelFixture(t, runtime.GOMAXPROCS(0))
+	if err := par.Train(queries, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err := seq.Run(q, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Run(q, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Selection) != len(want.Selection) {
+			t.Fatalf("%s: selection size %d, want %d", q, len(got.Selection), len(want.Selection))
+		}
+		for i := range want.Selection {
+			if got.Selection[i] != want.Selection[i] {
+				t.Fatalf("%s: selection[%d] = %+v, want %+v", q, i, got.Selection[i], want.Selection[i])
+			}
+		}
+		requireIdenticalValues(t, q.String(), want.Values, got.Values)
+	}
+}
+
+// TestMakeExamplesErrorMatchesSequential checks the parallel fan-out
+// reports the same (first-by-index) error a sequential loop would.
+func TestMakeExamplesErrorMatchesSequential(t *testing.T) {
+	sys, queries := parallelFixture(t, runtime.GOMAXPROCS(0))
+	bad := &query.Query{Aggs: []query.Aggregate{{Kind: query.Sum, Expr: query.Col("no_such_col")}}}
+	mixed := append([]*query.Query{queries[0], bad}, queries[1:]...)
+	_, err := sys.MakeExamples(mixed)
+	if err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+	want := "core: preparing query \"" + bad.String() + "\""
+	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("error %q does not name the failing query %q", got, bad)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ps3/internal/exec"
 	"ps3/internal/picker"
 	"ps3/internal/query"
 	"ps3/internal/stats"
@@ -37,7 +38,16 @@ type Options struct {
 	LSSBudgets []float64
 	// Seed drives query-time randomness.
 	Seed int64
+	// Parallelism bounds the worker goroutines of every partition scan the
+	// system performs — ground truth, estimation, selectivity, and the
+	// per-query fan-out of MakeExamples (0 = GOMAXPROCS, matching
+	// stats.Options.Parallelism). Answers are bit-identical at every
+	// setting.
+	Parallelism int
 }
+
+// execOpts converts the concurrency knob into engine options.
+func (o Options) execOpts() exec.Options { return exec.Options{Parallelism: o.Parallelism} }
 
 // System is a PS3 instance bound to one table and workload.
 type System struct {
@@ -54,6 +64,9 @@ type System struct {
 func New(t *table.Table, opts Options) (*System, error) {
 	if len(opts.Stats.GroupableCols) == 0 {
 		opts.Stats.GroupableCols = opts.Workload.GroupableCols
+	}
+	if opts.Stats.Parallelism == 0 {
+		opts.Stats.Parallelism = opts.Parallelism
 	}
 	ts, err := stats.Build(t, opts.Stats)
 	if err != nil {
@@ -84,26 +97,36 @@ func NewFromStats(t *table.Table, ts *stats.TableStats, opts Options) (*System, 
 // MakeExamples prepares training/evaluation examples for a set of queries:
 // feature matrices, exact per-partition answers, ground truth, and partition
 // contributions. This is the expensive offline pass (one full scan per
-// query); examples are reusable across training and evaluation.
+// query); examples are reusable across training and evaluation. The scans
+// run in parallel across queries — the dominant offline cost — with each
+// query's own scan kept sequential so the pool is not oversubscribed.
 func (s *System) MakeExamples(queries []*query.Query) ([]picker.Example, error) {
-	examples := make([]picker.Example, 0, len(queries))
-	for _, q := range queries {
-		ex, err := s.MakeExample(q)
+	return exec.MapErr(len(queries), s.Opts.execOpts(), func(i int) (picker.Example, error) {
+		ex, err := s.makeExample(queries[i], exec.Options{Parallelism: 1})
 		if err != nil {
-			return nil, fmt.Errorf("core: preparing query %q: %w", q, err)
+			return picker.Example{}, fmt.Errorf("core: preparing query %q: %w", queries[i], err)
 		}
-		examples = append(examples, ex)
-	}
-	return examples, nil
+		return ex, nil
+	})
 }
 
-// MakeExample prepares one example.
+// MakeExample prepares one example, parallelizing its full scan across
+// partitions.
 func (s *System) MakeExample(q *query.Query) (picker.Example, error) {
+	return s.makeExample(q, s.Opts.execOpts())
+}
+
+func (s *System) makeExample(q *query.Query, eo exec.Options) (picker.Example, error) {
 	c, err := query.Compile(q, s.Table)
 	if err != nil {
 		return picker.Example{}, err
 	}
+	c.Exec = eo
 	total, perPart := c.GroundTruth(s.Table)
+	// The compiled query outlives this scan inside the example; later scans
+	// through it (e.g. selectivity bucketing in experiments) should use the
+	// system's parallelism, not the fan-out-local setting.
+	c.Exec = s.Opts.execOpts()
 	return picker.Example{
 		Query:     q,
 		Compiled:  c,
@@ -112,6 +135,17 @@ func (s *System) MakeExample(q *query.Query) (picker.Example, error) {
 		PerPart:   perPart,
 		TruthVals: c.FinalValues(total),
 	}, nil
+}
+
+// compile binds q to the system's table and threads the concurrency knob
+// into the scan engine.
+func (s *System) compile(q *query.Query) (*query.Compiled, error) {
+	c, err := query.Compile(q, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	c.Exec = s.Opts.execOpts()
+	return c, nil
 }
 
 // Train fits the picker (and optionally the LSS baseline) on the given
@@ -176,7 +210,7 @@ func (s *System) Run(q *query.Query, budgetFrac float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := query.Compile(q, s.Table)
+	c, err := s.compile(q)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +232,7 @@ func (s *System) Run(q *query.Query, budgetFrac float64) (*Result, error) {
 // RunExact evaluates q exactly over every partition (the baseline a user
 // compares against).
 func (s *System) RunExact(q *query.Query) (*Result, error) {
-	c, err := query.Compile(q, s.Table)
+	c, err := s.compile(q)
 	if err != nil {
 		return nil, err
 	}

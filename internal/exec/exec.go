@@ -1,0 +1,155 @@
+// Package exec is PS3's shared parallel scan engine: a bounded worker pool
+// that maps a function over a set of work indices — typically partition ids,
+// whose immutable, read-only chunks are embarrassingly parallel to scan —
+// with per-worker accumulators and a deterministic merge.
+//
+// Every primitive is deterministic by construction: Map and MapErr return
+// results in index order regardless of which worker computed what, and
+// Reduce splits work into contiguous blocks whose boundaries depend only on
+// the item count and the resolved worker count, merging block accumulators
+// in ascending order. Callers that need results bit-identical to a
+// sequential loop (floating-point merges are not associative) use Map and
+// fold the ordered results themselves; callers with exact merges (integer
+// counts) use Reduce and skip the per-item result allocation.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a parallel execution.
+type Options struct {
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS), following the
+	// knob convention of stats.Options.
+	Parallelism int
+}
+
+// Workers resolves the worker count for n work items: Parallelism (or
+// GOMAXPROCS when zero), clamped to [1, n].
+func (o Options) Workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach calls fn(i) for every i in [0, n) from at most o.Workers(n)
+// goroutines. Indices are handed out dynamically, so uneven per-item cost
+// does not idle workers. fn must be safe for concurrent invocation. A panic
+// in any fn is re-raised on the caller's goroutine after all workers stop.
+func ForEach(n int, o Options, fn func(i int)) {
+	w := o.Workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		once     sync.Once
+		pval     any
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { pval = r })
+					panicked.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(pval)
+	}
+}
+
+// Map computes fn(i) for every i in [0, n) in parallel and returns the
+// results in index order, so a sequential fold over the returned slice
+// reproduces the merge order of a plain loop exactly.
+func Map[T any](n int, o Options, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, o, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible functions. All indices are attempted (errors do
+// not cancel in-flight work) and the error with the lowest index wins, so
+// the returned error matches what a sequential loop would have reported.
+func MapErr[T any](n int, o Options, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, o, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Reduce folds step over [0, n) with one accumulator per contiguous block of
+// indices and merges the block accumulators in ascending block order. Block
+// boundaries depend only on n and o.Workers(n) — never on scheduling — so
+// the result is reproducible for fixed Options. For non-associative merges
+// the result may still differ across worker counts; use Map plus an ordered
+// fold when bit-identity across parallelism levels is required.
+func Reduce[A any](n int, o Options, newAcc func() A, step func(acc A, i int) A, merge func(dst, src A) A) A {
+	w := o.Workers(n)
+	if w == 1 {
+		acc := newAcc()
+		for i := 0; i < n; i++ {
+			acc = step(acc, i)
+		}
+		return acc
+	}
+	accs := Map(w, o, func(b int) A {
+		lo, hi := blockBounds(n, w, b)
+		acc := newAcc()
+		for i := lo; i < hi; i++ {
+			acc = step(acc, i)
+		}
+		return acc
+	})
+	total := accs[0]
+	for _, a := range accs[1:] {
+		total = merge(total, a)
+	}
+	return total
+}
+
+// blockBounds returns the half-open index range of block b when n items are
+// split into w near-equal contiguous blocks (earlier blocks take the
+// remainder).
+func blockBounds(n, w, b int) (lo, hi int) {
+	base := n / w
+	extra := n % w
+	lo = b*base + min(b, extra)
+	hi = lo + base
+	if b < extra {
+		hi++
+	}
+	return lo, hi
+}

@@ -13,6 +13,7 @@ import (
 
 	"ps3/internal/core"
 	"ps3/internal/dataset"
+	"ps3/internal/exec"
 	"ps3/internal/metrics"
 	"ps3/internal/picker"
 	"ps3/internal/query"
@@ -36,7 +37,15 @@ type Config struct {
 	Alpha float64
 	K     int
 	Seed  int64
+	// Parallelism bounds the worker goroutines of partition scans and
+	// per-query evaluation loops (0 = GOMAXPROCS). Results are identical at
+	// every setting: every per-query RNG is independently seeded and merges
+	// run in deterministic order.
+	Parallelism int
 }
+
+// execOpts converts the concurrency knob into engine options.
+func (c Config) execOpts() exec.Options { return exec.Options{Parallelism: c.Parallelism} }
 
 // WithDefaults fills the laptop-scale defaults.
 func (c Config) WithDefaults() Config {
@@ -83,11 +92,12 @@ func NewEnv(ds *dataset.Dataset, cfg Config) (*Env, error) {
 		K:                  cfg.K,
 	}
 	sys, err := core.New(ds.Table, core.Options{
-		Workload:   ds.Workload,
-		Picker:     pcfg,
-		TrainLSS:   true,
-		LSSBudgets: cfg.Budgets,
-		Seed:       cfg.Seed + 11,
+		Workload:    ds.Workload,
+		Picker:      pcfg,
+		TrainLSS:    true,
+		LSSBudgets:  cfg.Budgets,
+		Seed:        cfg.Seed + 11,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +263,9 @@ func (e *Env) ErrorCurve(m Method, examples []picker.Example) Curve {
 
 // CurveFor evaluates an arbitrary selection function over examples at every
 // budget; randomized selectors are averaged over Cfg.Runs repetitions.
+// Queries are evaluated in parallel on the shared scan engine — each
+// (query, run) pair seeds its own RNG and per-query results merge in query
+// order, so curves are identical to a sequential evaluation.
 func (e *Env) CurveFor(name Method, deterministic bool, examples []picker.Example,
 	selFn func(ex picker.Example, n int, rng *rand.Rand) []query.WeightedPartition) Curve {
 	runs := e.Cfg.Runs
@@ -261,13 +274,16 @@ func (e *Env) CurveFor(name Method, deterministic bool, examples []picker.Exampl
 	}
 	total := e.DS.Table.NumParts()
 	curve := Curve{Method: name, Budgets: e.Cfg.Budgets}
+	type queryErrs struct {
+		errs metrics.Errors
+		ok   bool
+	}
 	for _, b := range e.Cfg.Budgets {
 		n := budgetParts(b, total)
-		var perQuery []metrics.Errors
-		for qi := range examples {
+		per := exec.Map(len(examples), e.Cfg.execOpts(), func(qi int) queryErrs {
 			ex := examples[qi]
 			if len(ex.TruthVals) == 0 {
-				continue
+				return queryErrs{}
 			}
 			var acc metrics.Errors
 			for r := 0; r < runs; r++ {
@@ -282,7 +298,13 @@ func (e *Env) CurveFor(name Method, deterministic bool, examples []picker.Exampl
 			acc.MissedGroups /= float64(runs)
 			acc.AvgRelErr /= float64(runs)
 			acc.AbsOverTrue /= float64(runs)
-			perQuery = append(perQuery, acc)
+			return queryErrs{errs: acc, ok: true}
+		})
+		var perQuery []metrics.Errors
+		for _, qe := range per {
+			if qe.ok {
+				perQuery = append(perQuery, qe.errs)
+			}
 		}
 		curve.Errs = append(curve.Errs, metrics.Mean(perQuery))
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"ps3/internal/dataset"
+	"ps3/internal/exec"
 	"ps3/internal/metrics"
 )
 
@@ -54,15 +56,35 @@ func fig3OnEnv(w io.Writer, env *Env) (*Fig3Result, error) {
 	return res, nil
 }
 
-// RunFig3All runs the macro-benchmark on all four datasets.
+// RunFig3All runs the macro-benchmark on all four datasets. Datasets are
+// independent environments, so they run in parallel on the scan engine;
+// each buffers its report and the buffers are flushed in dataset order.
+// On error, the reports of the datasets before the failing one are still
+// written, matching the old sequential behavior.
 func RunFig3All(w io.Writer, cfg Config) ([]*Fig3Result, error) {
-	var out []*Fig3Result
-	for _, name := range dataset.Names() {
-		r, err := RunFig3(w, name, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s: %w", name, err)
+	names := dataset.Names()
+	type dsOut struct {
+		res *Fig3Result
+		err error
+		buf bytes.Buffer
+	}
+	outs := exec.Map(len(names), cfg.execOpts(), func(i int) *dsOut {
+		// Inner scans stay sequential: the dataset fan-out owns the pool.
+		inner := cfg
+		inner.Parallelism = 1
+		o := &dsOut{}
+		o.res, o.err = RunFig3(&o.buf, names[i], inner)
+		return o
+	})
+	out := make([]*Fig3Result, 0, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", names[i], o.err)
 		}
-		out = append(out, r)
+		if _, err := w.Write(o.buf.Bytes()); err != nil {
+			return nil, err
+		}
+		out = append(out, o.res)
 	}
 	return out, nil
 }

@@ -4,7 +4,10 @@
 // (Table 6/7).
 package metrics
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Errors summarizes the quality of an approximate answer against the truth.
 type Errors struct {
@@ -38,7 +41,17 @@ func Compare(truth, est map[string][]float64) Errors {
 	relCnt := 0
 	absErr := make([]float64, d)
 	absTrue := make([]float64, d)
-	for g, tv := range truth {
+	// Fold groups in sorted key order: the sums are float accumulations, so
+	// iterating the map directly would leave low-order bits dependent on map
+	// iteration order — enough to flip near-tie comparisons downstream (e.g.
+	// greedy feature selection) and break run-to-run determinism.
+	keys := make([]string, 0, len(truth))
+	for g := range truth {
+		keys = append(keys, g)
+	}
+	sort.Strings(keys)
+	for _, g := range keys {
+		tv := truth[g]
 		ev, ok := est[g]
 		if !ok {
 			missed++

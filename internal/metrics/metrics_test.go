@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -205,5 +206,29 @@ func TestAUCMonotoneInErrorProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Compare folds float sums over the groups of a map; this pins down that the
+// fold is independent of map iteration order (sorted keys), so repeated
+// calls are bit-identical — near-tie comparisons downstream (greedy feature
+// selection) depend on it.
+func TestCompareDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	truth := make(map[string][]float64)
+	est := make(map[string][]float64)
+	for i := 0; i < 200; i++ {
+		g := fmt.Sprintf("g%03d", i)
+		tv := []float64{rng.NormFloat64() * math.Exp(rng.NormFloat64()*6), rng.Float64()}
+		truth[g] = tv
+		if i%3 != 0 {
+			est[g] = []float64{tv[0] * (1 + rng.NormFloat64()*0.1), tv[1] * (1 + rng.NormFloat64()*0.1)}
+		}
+	}
+	first := Compare(truth, est)
+	for k := 0; k < 50; k++ {
+		if got := Compare(truth, est); got != first {
+			t.Fatalf("run %d: Compare = %+v, want %+v", k, got, first)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"ps3/internal/exec"
 	"ps3/internal/table"
 )
 
@@ -93,6 +94,13 @@ type Compiled struct {
 	groupIdx []int
 	slots    []aggSlot
 	comps    int
+
+	// Exec configures the parallel scans (GroundTruth, Estimate,
+	// Selectivity). The zero value uses GOMAXPROCS workers; Parallelism 1
+	// forces a sequential scan. Results are bit-identical at every worker
+	// count: partitions are evaluated in parallel but always merged in
+	// partition order.
+	Exec exec.Options
 }
 
 // Compile binds q against the table's schema and dictionary, validating all
@@ -170,6 +178,10 @@ func (a *Answer) AddWeighted(other *Answer, w float64) {
 		}
 	}
 }
+
+// Merge accumulates other into a with weight 1 — the exact-scan combine
+// step (1*v == v in IEEE-754, so this is bit-identical to a plain sum).
+func (a *Answer) Merge(other *Answer) { a.AddWeighted(other, 1) }
 
 // EvalPartition computes the query's accumulators on one partition.
 func (c *Compiled) EvalPartition(p *table.Partition) *Answer {
@@ -268,12 +280,15 @@ func (c *Compiled) FinalValues(a *Answer) map[string][]float64 {
 // to score experiments) and also returns the per-partition answers, which
 // both training-label generation and error evaluation reuse.
 func (c *Compiled) GroundTruth(t *table.Table) (total *Answer, perPart []*Answer) {
+	// Partitions are scanned in parallel; the fold over per-partition
+	// answers stays sequential in partition order so the accumulator sums
+	// are bit-identical to a single-threaded scan at any worker count.
+	perPart = exec.Map(len(t.Parts), c.Exec, func(i int) *Answer {
+		return c.EvalPartition(t.Parts[i])
+	})
 	total = c.NewAnswer()
-	perPart = make([]*Answer, len(t.Parts))
-	for i, p := range t.Parts {
-		pa := c.EvalPartition(p)
-		perPart[i] = pa
-		total.AddWeighted(pa, 1)
+	for _, pa := range perPart {
+		total.Merge(pa)
 	}
 	return total, perPart
 }
@@ -281,30 +296,44 @@ func (c *Compiled) GroundTruth(t *table.Table) (total *Answer, perPart []*Answer
 // Selectivity returns the exact fraction of the table's rows that satisfy
 // the query's predicate.
 func (c *Compiled) Selectivity(t *table.Table) float64 {
-	var pass, rows int
-	for _, p := range t.Parts {
-		n := p.Rows()
-		rows += n
-		for r := 0; r < n; r++ {
-			if c.pred(p, r) {
-				pass++
+	// Integer counts merge exactly, so per-worker accumulators suffice.
+	type counts struct{ pass, rows int }
+	total := exec.Reduce(len(t.Parts), c.Exec,
+		func() counts { return counts{} },
+		func(acc counts, i int) counts {
+			p := t.Parts[i]
+			n := p.Rows()
+			acc.rows += n
+			for r := 0; r < n; r++ {
+				if c.pred(p, r) {
+					acc.pass++
+				}
 			}
-		}
-	}
-	if rows == 0 {
+			return acc
+		},
+		func(a, b counts) counts {
+			a.pass += b.pass
+			a.rows += b.rows
+			return a
+		})
+	if total.rows == 0 {
 		return 0
 	}
-	return float64(pass) / float64(rows)
+	return float64(total.pass) / float64(total.rows)
 }
 
 // Estimate evaluates the query on a weighted selection of partition ids,
 // reading each selected partition through the table's I/O accountant, and
-// returns the combined approximate answer.
+// returns the combined approximate answer. Selected partitions are scanned
+// in parallel; the weighted combine runs in selection order, keeping the
+// answer bit-identical to a sequential evaluation.
 func (c *Compiled) Estimate(t *table.Table, sel []WeightedPartition) *Answer {
+	parts := exec.Map(len(sel), c.Exec, func(i int) *Answer {
+		return c.EvalPartition(t.Read(sel[i].Part))
+	})
 	ans := c.NewAnswer()
-	for _, wp := range sel {
-		p := t.Read(wp.Part)
-		ans.AddWeighted(c.EvalPartition(p), wp.Weight)
+	for i, pa := range parts {
+		ans.AddWeighted(pa, sel[i].Weight)
 	}
 	return ans
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 
 	"ps3/internal/query"
 )
@@ -158,7 +159,16 @@ func (se *selEstimator) evalAnd(n *query.And, ps *PartitionStats) selNode {
 			out.maxSel = ch.maxSel
 		}
 	}
-	for ci, cr := range ranges {
+	// Fold columns in schema order: indep is a float product, so the merge
+	// order must not depend on map iteration for features to be
+	// deterministic.
+	cols := make([]int, 0, len(ranges))
+	for ci := range ranges {
+		cols = append(cols, ci)
+	}
+	sort.Ints(cols)
+	for _, ci := range cols {
+		cr := ranges[ci]
 		cs := &ps.Cols[ci]
 		var s float64
 		switch {

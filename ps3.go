@@ -190,7 +190,10 @@ func MustParseSQL(src string) *Query { return sqlparse.MustParse(src) }
 // builder + trained partition picker + weighted executor.
 type System = core.System
 
-// Options configures a System.
+// Options configures a System. Options.Parallelism bounds the worker
+// goroutines of the shared partition-scan engine (internal/exec) used by
+// Run, RunExact, and Train's example preparation; 0 means GOMAXPROCS, and
+// answers are bit-identical at every setting.
 type Options = core.Options
 
 // Result is the outcome of an approximate query execution.
