@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet fmt-check verify
+.PHONY: build test race bench bench-exec vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Vectorized execution engine: selection-vector kernels vs the retained
+# row-at-a-time reference evaluator.
+bench-exec:
+	$(GO) test -bench 'BenchmarkEvalPartition|BenchmarkSelectivity' -benchmem -run '^$$' .
 
 vet: fmt-check
 	$(GO) vet ./...

@@ -359,6 +359,99 @@ func BenchmarkGroundTruthParallel(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
+// --- Vectorized execution: selection-vector kernels vs row-at-a-time ---
+
+// vecFixture builds the acceptance case for the vectorized engine: a
+// multi-clause-predicate GROUP BY query over the skewed TPC-H* table.
+func vecFixture(b *testing.B) (*Table, *query.Compiled) {
+	b.Helper()
+	ds, err := dataset.ByName("tpch", dataset.Config{Rows: 120_000, Parts: 24, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := &query.Query{
+		GroupBy: []string{"L_RETURNFLAG"},
+		Pred: query.NewAnd(
+			&query.Clause{Col: "L_QUANTITY", Op: query.OpGe, Num: 3},
+			&query.Clause{Col: "L_QUANTITY", Op: query.OpLe, Num: 47},
+			&query.Clause{Col: "L_SHIPDATE", Op: query.OpGe, Num: 200},
+			&query.Clause{Col: "L_SHIPDATE", Op: query.OpLt, Num: 2300},
+			&query.Clause{Col: "L_SHIPMODE", Op: query.OpIn, Strs: []string{"AIR", "RAIL", "SHIP", "TRUCK"}},
+		),
+		Aggs: []query.Aggregate{
+			{Kind: query.Sum, Expr: query.Col("L_EXTENDEDPRICE")},
+			{Kind: query.Avg, Expr: query.Col("L_QUANTITY")},
+			{Kind: query.Count},
+		},
+	}
+	c, err := query.Compile(q, ds.Table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Table, c
+}
+
+// BenchmarkEvalPartition compares the retained row-at-a-time reference
+// evaluator against the vectorized kernel path on the same partitions; the
+// vectorized sub-benchmark also reports its in-run speedup over the
+// reference.
+func BenchmarkEvalPartition(b *testing.B) {
+	tbl, c := vecFixture(b)
+	parts := tbl.Parts
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.EvalPartitionReference(parts[i%len(parts)])
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		b.ReportAllocs()
+		const refIters = 48
+		refStart := time.Now()
+		for i := 0; i < refIters; i++ {
+			c.EvalPartitionReference(parts[i%len(parts)])
+		}
+		refPer := time.Since(refStart) / refIters
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.EvalPartition(parts[i%len(parts)])
+		}
+		b.StopTimer()
+		vecPer := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(refPer)/float64(vecPer), "speedup")
+	})
+}
+
+// BenchmarkSelectivity compares predicate evaluation row-at-a-time vs as
+// selection kernels over the whole table. Both run sequentially so the
+// comparison isolates the kernel effect from parallelism.
+func BenchmarkSelectivity(b *testing.B) {
+	tbl, c := vecFixture(b)
+	c.Exec = exec.Options{Parallelism: 1}
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.SelectivityReference(tbl)
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		b.ReportAllocs()
+		const refIters = 3
+		refStart := time.Now()
+		for i := 0; i < refIters; i++ {
+			c.SelectivityReference(tbl)
+		}
+		refPer := time.Since(refStart) / refIters
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Selectivity(tbl)
+		}
+		b.StopTimer()
+		vecPer := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(refPer)/float64(vecPer), "speedup")
+	})
+}
+
 // trainFixture returns an untrained system and training queries for the
 // MakeExamples (offline pass) benchmarks.
 func trainFixture(b *testing.B, parallelism int) (*System, []*Query) {

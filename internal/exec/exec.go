@@ -47,10 +47,20 @@ func (o Options) Workers(n int) int {
 // does not idle workers. fn must be safe for concurrent invocation. A panic
 // in any fn is re-raised on the caller's goroutine after all workers stop.
 func ForEach(n int, o Options, fn func(i int)) {
-	w := o.Workers(n)
-	if w == 1 {
+	ForEachWith(n, o, func() struct{} { return struct{}{} }, func(_ struct{}, i int) { fn(i) })
+}
+
+// ForEachWith is ForEach with per-worker state: every worker goroutine
+// creates one W via newW and passes it to each fn call it executes, so
+// scratch buffers are allocated once per worker instead of once per item.
+// fn owns w exclusively for the worker's lifetime and never needs to lock
+// it; newW and fn must be safe for concurrent invocation across workers.
+func ForEachWith[W any](n int, o Options, newW func() W, fn func(w W, i int)) {
+	workers := o.Workers(n)
+	if workers == 1 {
+		st := newW()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(st, i)
 		}
 		return
 	}
@@ -61,7 +71,7 @@ func ForEach(n int, o Options, fn func(i int)) {
 		once     sync.Once
 		pval     any
 	)
-	for k := 0; k < w; k++ {
+	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -71,12 +81,13 @@ func ForEach(n int, o Options, fn func(i int)) {
 					panicked.Store(true)
 				}
 			}()
+			st := newW()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || panicked.Load() {
 					return
 				}
-				fn(i)
+				fn(st, i)
 			}
 		}()
 	}
@@ -92,6 +103,15 @@ func ForEach(n int, o Options, fn func(i int)) {
 func Map[T any](n int, o Options, fn func(i int) T) []T {
 	out := make([]T, n)
 	ForEach(n, o, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapWith is Map with per-worker state (see ForEachWith): each worker
+// allocates one W and reuses it for every item it computes. Results are
+// returned in index order, preserving Map's determinism guarantee.
+func MapWith[W, T any](n int, o Options, newW func() W, fn func(w W, i int) T) []T {
+	out := make([]T, n)
+	ForEachWith(n, o, newW, func(w W, i int) { out[i] = fn(w, i) })
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -155,4 +156,72 @@ func TestForEachPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestMapWithOrdering(t *testing.T) {
+	for _, par := range []int{1, 2, 3, 0} {
+		out := MapWith(100, Options{Parallelism: par},
+			func() *int { return new(int) },
+			func(w *int, i int) int { *w++; return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapWithPerWorkerState verifies each worker gets exactly one state
+// value and the states collectively see every index exactly once.
+func TestMapWithPerWorkerState(t *testing.T) {
+	const n, par = 500, 4
+	var mu sync.Mutex
+	var states []*[]int
+	MapWith(n, Options{Parallelism: par},
+		func() *[]int {
+			s := new([]int)
+			mu.Lock()
+			states = append(states, s)
+			mu.Unlock()
+			return s
+		},
+		func(w *[]int, i int) struct{} {
+			*w = append(*w, i)
+			return struct{}{}
+		})
+	if len(states) > par {
+		t.Fatalf("newW ran %d times for %d workers", len(states), par)
+	}
+	visited := make([]int, n)
+	for _, s := range states {
+		for _, i := range *s {
+			visited[i]++
+		}
+	}
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times across worker states", i, v)
+		}
+	}
+}
+
+// TestForEachWithSequentialSingleState: with one worker, a single state is
+// threaded through every call in index order.
+func TestForEachWithSequentialSingleState(t *testing.T) {
+	var made int
+	var seen []int
+	ForEachWith(10, Options{Parallelism: 1},
+		func() *[]int { made++; return &seen },
+		func(w *[]int, i int) { *w = append(*w, i) })
+	if made != 1 {
+		t.Fatalf("newW ran %d times, want 1", made)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("seen[%d] = %d, want %d (sequential order)", i, v, i)
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("visited %d indices, want 10", len(seen))
+	}
 }

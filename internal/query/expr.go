@@ -96,14 +96,23 @@ func (e LinearExpr) String() string {
 	return sb.String()
 }
 
-// compile resolves column names to indexes; returns an evaluator over a
-// partition row.
-func (e LinearExpr) compile(s *table.Schema) (func(p *table.Partition, r int) float64, error) {
-	type cterm struct {
-		col  int
-		coef float64
-	}
-	terms := make([]cterm, 0, len(e.Terms))
+// cterm is one compiled expression term: resolved column index + coefficient.
+type cterm struct {
+	col  int
+	coef float64
+}
+
+// exprKernel is a LinearExpr resolved against a schema, evaluable either
+// row-at-a-time (the reference path) or vectorized into a scratch buffer.
+type exprKernel struct {
+	terms []cterm
+	konst float64
+}
+
+// compile resolves column names to indexes, validating that every term
+// references a numeric column.
+func (e LinearExpr) compile(s *table.Schema) (*exprKernel, error) {
+	k := &exprKernel{terms: make([]cterm, 0, len(e.Terms)), konst: e.Const}
 	for _, t := range e.Terms {
 		ci := s.ColIndex(t.Col)
 		if ci < 0 {
@@ -112,16 +121,35 @@ func (e LinearExpr) compile(s *table.Schema) (func(p *table.Partition, r int) fl
 		if !s.Col(ci).IsNumeric() {
 			return nil, fmt.Errorf("query: column %q is categorical; cannot aggregate", t.Col)
 		}
-		terms = append(terms, cterm{ci, t.Coef})
+		k.terms = append(k.terms, cterm{ci, t.Coef})
 	}
-	konst := e.Const
-	return func(p *table.Partition, r int) float64 {
-		v := konst
-		for _, t := range terms {
-			v += t.coef * p.Num[t.col][r]
+	return k, nil
+}
+
+// evalRow evaluates the expression on one row.
+func (k *exprKernel) evalRow(p *table.Partition, r int) float64 {
+	v := k.konst
+	for _, t := range k.terms {
+		v += t.coef * p.NumCol(t.col)[r]
+	}
+	return v
+}
+
+// evalInto fills dst[i] with the expression value at row sel[i], one tight
+// column loop per term. Each dst entry is built as constant first, then
+// terms in declaration order — the same addition sequence as evalRow — so
+// per-row results are bit-identical to the row-at-a-time path.
+func (k *exprKernel) evalInto(p *table.Partition, sel []int32, dst []float64) {
+	for i := range dst {
+		dst[i] = k.konst
+	}
+	for _, t := range k.terms {
+		col := p.NumCol(t.col)
+		coef := t.coef
+		for i, r := range sel {
+			dst[i] += coef * col[r]
 		}
-		return v
-	}, nil
+	}
 }
 
 // AggKind enumerates supported aggregate functions.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"ps3/internal/exec"
 	"ps3/internal/table"
@@ -77,9 +78,12 @@ func (q *Query) Columns() []string {
 
 // aggSlot maps an aggregate to its accumulator slots.
 type aggSlot struct {
-	kind   AggKind
-	expr   func(p *table.Partition, r int) float64
-	filter rowFn
+	kind AggKind
+	expr *exprKernel
+	// filter / filterKern are the row-at-a-time and vectorized compilations
+	// of the aggregate's FILTER predicate (both nil when unfiltered).
+	filter     rowFn
+	filterKern kernel
 	// first accumulator index; AVG uses two consecutive slots (sum, count).
 	at int
 }
@@ -87,13 +91,24 @@ type aggSlot struct {
 // Compiled is a query bound to a schema and dictionary, ready to evaluate on
 // partitions.
 type Compiled struct {
-	Q        *Query
-	schema   *table.Schema
-	dict     *table.Dict
+	Q      *Query
+	schema *table.Schema
+	dict   *table.Dict
+	// pred is the row-at-a-time predicate (reference path). The vectorized
+	// hot path runs predSeed (fills the selection from the first clause's
+	// column scan, nil when the tree can't seed) then predKern (narrows the
+	// selection, nil when nothing remains to apply). Both nil = no
+	// predicate.
 	pred     rowFn
+	predSeed seedKernel
+	predKern kernel
 	groupIdx []int
 	slots    []aggSlot
 	comps    int
+
+	// scratch recycles evaluation buffers for the public single-partition
+	// entry points; parallel scans thread one scratch per worker instead.
+	scratch *sync.Pool
 
 	// Exec configures the parallel scans (GroundTruth, Estimate,
 	// Selectivity). The zero value uses GOMAXPROCS workers; Parallelism 1
@@ -112,6 +127,10 @@ func Compile(q *Query, t *table.Table) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.predSeed, c.predKern, err = compilePredSeed(q.Pred, t.Schema, t.Dict)
+	if err != nil {
+		return nil, err
+	}
 	for _, g := range q.GroupBy {
 		gi := t.Schema.ColIndex(g)
 		if gi < 0 {
@@ -126,11 +145,11 @@ func Compile(q *Query, t *table.Table) (*Compiled, error) {
 	for _, a := range q.Aggs {
 		slot := aggSlot{kind: a.Kind, at: at}
 		if a.Kind != Count {
-			fn, err := a.Expr.compile(t.Schema)
+			ek, err := a.Expr.compile(t.Schema)
 			if err != nil {
 				return nil, err
 			}
-			slot.expr = fn
+			slot.expr = ek
 		}
 		if a.Filter != nil {
 			fn, err := compilePred(a.Filter, t.Schema, t.Dict)
@@ -138,11 +157,17 @@ func Compile(q *Query, t *table.Table) (*Compiled, error) {
 				return nil, err
 			}
 			slot.filter = fn
+			kern, err := compileKernel(a.Filter, t.Schema, t.Dict)
+			if err != nil {
+				return nil, err
+			}
+			slot.filterKern = kern
 		}
 		c.slots = append(c.slots, slot)
 		at += a.components()
 	}
 	c.comps = at
+	c.scratch = &sync.Pool{New: func() any { return &scratch{} }}
 	return c, nil
 }
 
@@ -183,37 +208,227 @@ func (a *Answer) AddWeighted(other *Answer, w float64) {
 // step (1*v == v in IEEE-754, so this is bit-identical to a plain sum).
 func (a *Answer) Merge(other *Answer) { a.AddWeighted(other, 1) }
 
-// EvalPartition computes the query's accumulators on one partition.
+// EvalPartition computes the query's accumulators on one partition. It runs
+// the vectorized kernel path: the predicate narrows a selection vector with
+// one column loop per clause, then aggregates accumulate column-at-a-time
+// over the surviving rows. Results are bit-identical to the retained
+// row-at-a-time EvalPartitionReference (enforced by equivalence tests).
 func (c *Compiled) EvalPartition(p *table.Partition) *Answer {
+	sc := c.scratch.Get().(*scratch)
+	ans := c.evalPartition(p, sc)
+	c.scratch.Put(sc)
+	return ans
+}
+
+// evalPartition is EvalPartition with caller-supplied scratch, the entry
+// point parallel scans use with per-worker buffers.
+func (c *Compiled) evalPartition(p *table.Partition, sc *scratch) *Answer {
 	ans := c.NewAnswer()
-	var keyBuf []byte
 	rows := p.Rows()
-	for r := 0; r < rows; r++ {
-		if !c.pred(p, r) {
-			continue
+	if rows == 0 {
+		return ans
+	}
+	var sel []int32
+	if c.predSeed != nil {
+		sel = c.predSeed(p, rows, sc.selBuf(rows))
+	} else {
+		sel = sc.fullSel(rows)
+	}
+	if c.predKern != nil && len(sel) > 0 {
+		sel = c.predKern(p, sel, sc)
+	}
+	if len(sel) == 0 {
+		return ans
+	}
+	switch {
+	case len(c.groupIdx) == 0:
+		// Single-group fast path: no key encoding, one accumulator vector.
+		acc := make([]float64, c.comps)
+		c.accumulate(p, sel, nil, acc, sc)
+		ans.Groups[""] = acc
+	case len(c.groupIdx) == 1 && !c.schema.Col(c.groupIdx[0]).IsNumeric():
+		c.evalSingleCatGroup(p, sel, sc, ans)
+	default:
+		c.evalGenericGroups(p, sel, sc, ans)
+	}
+	return ans
+}
+
+// evalSingleCatGroup is the single-categorical-GROUP-BY fast path: group
+// slots are resolved through a dense dictionary-code-indexed table, skipping
+// key encoding and map probes entirely; keys are materialized only once per
+// group when the answer is built.
+func (c *Compiled) evalSingleCatGroup(p *table.Partition, sel []int32, sc *scratch, ans *Answer) {
+	codes := p.CatCol(c.groupIdx[0])
+	lut := sc.codeLutGrown(c.dict.Len())
+	gidx := sc.gidxBuf(len(sel))
+	order := sc.codes[:0]
+	// Codes the dictionary never assigned (possible only on corrupted
+	// partitions) fall back to a map so a huge rogue code can't balloon the
+	// dense table; they still group correctly, matching the reference path.
+	var overflow map[uint32]int32
+	for i, r := range sel {
+		code := codes[r]
+		var id int32
+		if int(code) < len(lut) {
+			id = lut[code]
+			if id < 0 {
+				id = int32(len(order))
+				lut[code] = id
+				order = append(order, code)
+			}
+		} else {
+			var ok bool
+			id, ok = overflow[code]
+			if !ok {
+				if overflow == nil {
+					overflow = make(map[uint32]int32)
+				}
+				id = int32(len(order))
+				overflow[code] = id
+				order = append(order, code)
+			}
 		}
-		keyBuf = c.appendKey(keyBuf[:0], p, r)
-		acc, ok := ans.Groups[string(keyBuf)]
+		gidx[i] = id
+	}
+	flat := make([]float64, len(order)*c.comps)
+	c.accumulate(p, sel, gidx, flat, sc)
+	for g, code := range order {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], code)
+		ans.Groups[string(b[:])] = flat[g*c.comps : (g+1)*c.comps : (g+1)*c.comps]
+		if int(code) < len(lut) {
+			lut[code] = -1 // restore the all-(-1) invariant
+		}
+	}
+	sc.codes = order[:0]
+}
+
+// evalGenericGroups handles arbitrary GROUP BY lists: keys are encoded per
+// selected row (only for rows that survived the predicate) and resolved to
+// dense slots through a reusable map, then accumulation runs column-at-a-time
+// like every other path.
+func (c *Compiled) evalGenericGroups(p *table.Partition, sel []int32, sc *scratch, ans *Answer) {
+	lut := sc.groupLut()
+	gidx := sc.gidxBuf(len(sel))
+	keys := sc.keys[:0]
+	kb := sc.keyBuf
+	for i, r := range sel {
+		kb = c.appendKey(kb[:0], p, int(r))
+		id, ok := lut[string(kb)]
 		if !ok {
-			acc = make([]float64, c.comps)
-			ans.Groups[string(keyBuf)] = acc
+			id = int32(len(keys))
+			key := string(kb)
+			lut[key] = id
+			keys = append(keys, key)
 		}
-		for _, s := range c.slots {
-			if s.filter != nil && !s.filter(p, r) {
+		gidx[i] = id
+	}
+	sc.keyBuf = kb
+	flat := make([]float64, len(keys)*c.comps)
+	c.accumulate(p, sel, gidx, flat, sc)
+	for g, key := range keys {
+		ans.Groups[key] = flat[g*c.comps : (g+1)*c.comps : (g+1)*c.comps]
+	}
+	sc.keys = keys[:0]
+}
+
+// accumulate adds each selected row's contribution to its group's
+// accumulators. accs is a flat [group][comps] buffer; gidx maps selected
+// rows to group slots (nil means one group at slot 0). Work is slot-major —
+// one pass over the selection per aggregate component — but row-ordered
+// within each slot, and distinct slots write distinct accumulator indices,
+// so every accumulator sees the same additions in the same order as the
+// row-at-a-time reference: results are bit-identical.
+func (c *Compiled) accumulate(p *table.Partition, sel, gidx []int32, accs []float64, sc *scratch) {
+	stride := c.comps
+	for _, s := range c.slots {
+		rows, idx := sel, gidx
+		if s.filterKern != nil {
+			rows, idx = filterSelection(s.filterKern, p, sel, gidx, sc)
+			if len(rows) == 0 {
 				continue
 			}
-			switch s.kind {
-			case Sum:
-				acc[s.at] += s.expr(p, r)
-			case Count:
-				acc[s.at]++
-			case Avg:
-				acc[s.at] += s.expr(p, r)
-				acc[s.at+1]++
+		}
+		at := s.at
+		switch s.kind {
+		case Count:
+			if idx == nil {
+				// One integral add equals len(rows) repeated ++s exactly
+				// (counts stay far below 2^53).
+				accs[at] += float64(len(rows))
+			} else {
+				for _, g := range idx {
+					accs[int(g)*stride+at]++
+				}
+			}
+		case Sum:
+			buf := sc.exprBuf(len(rows))
+			s.expr.evalInto(p, rows, buf)
+			if idx == nil {
+				for _, v := range buf {
+					accs[at] += v
+				}
+			} else {
+				for i, v := range buf {
+					accs[int(idx[i])*stride+at] += v
+				}
+			}
+		case Avg:
+			buf := sc.exprBuf(len(rows))
+			s.expr.evalInto(p, rows, buf)
+			if idx == nil {
+				for _, v := range buf {
+					accs[at] += v
+				}
+				accs[at+1] += float64(len(rows))
+			} else {
+				for i, v := range buf {
+					base := int(idx[i]) * stride
+					accs[base+at] += v
+					accs[base+at+1]++
+				}
 			}
 		}
 	}
-	return ans
+}
+
+// filterSelection narrows (sel, gidx) to the rows passing a FILTER
+// aggregate's predicate, keeping the two vectors aligned. The kernel runs on
+// a scratch copy so the main selection survives for the remaining slots.
+func filterSelection(k kernel, p *table.Partition, sel, gidx []int32, sc *scratch) ([]int32, []int32) {
+	tmp := sc.getSel(len(sel))
+	copy(tmp, sel)
+	passed := k(p, tmp, sc)
+	switch len(passed) {
+	case len(sel):
+		sc.putSel(tmp)
+		return sel, gidx
+	case 0:
+		sc.putSel(tmp)
+		return nil, nil
+	}
+	// passed is an ascending subset of sel (kernel contract), so a linear
+	// merge re-aligns the group slots — no marks buffer needed.
+	fsel, fidx := sc.filterBufs(len(passed))
+	if gidx == nil {
+		copy(fsel, passed)
+		sc.putSel(tmp)
+		return fsel, nil
+	}
+	j := 0
+	for i, r := range sel {
+		if j == len(passed) {
+			break
+		}
+		if r == passed[j] {
+			fsel[j] = r
+			fidx[j] = gidx[i]
+			j++
+		}
+	}
+	sc.putSel(tmp)
+	return fsel, fidx
 }
 
 // appendKey encodes the group-by values of row r into buf.
@@ -233,6 +448,10 @@ func (c *Compiled) appendKey(buf []byte, p *table.Partition, r int) []byte {
 }
 
 // GroupLabel decodes a group key into human-readable column=value parts.
+// Keys that don't match the query's group-by encoding (too short, trailing
+// bytes, or a dictionary code the table never assigned) yield a diagnostic
+// label instead of panicking, since labels are rendered in logs and error
+// reports where the key may come from an untrusted or stale source.
 func (c *Compiled) GroupLabel(key string) string {
 	if len(c.groupIdx) == 0 {
 		return "<all>"
@@ -242,16 +461,35 @@ func (c *Compiled) GroupLabel(key string) string {
 	for _, gi := range c.groupIdx {
 		col := c.schema.Col(gi)
 		if col.IsNumeric() {
+			if len(b) < 8 {
+				return malformedKeyLabel(key, len(c.groupIdx))
+			}
 			v := math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
 			b = b[8:]
 			parts = append(parts, fmt.Sprintf("%s=%g", col.Name, v))
 		} else {
+			if len(b) < 4 {
+				return malformedKeyLabel(key, len(c.groupIdx))
+			}
 			code := binary.LittleEndian.Uint32(b[:4])
 			b = b[4:]
+			if int(code) >= c.dict.Len() {
+				parts = append(parts, fmt.Sprintf("%s=<bad code %d>", col.Name, code))
+				continue
+			}
 			parts = append(parts, fmt.Sprintf("%s=%s", col.Name, c.dict.Value(code)))
 		}
 	}
+	if len(b) != 0 {
+		return malformedKeyLabel(key, len(c.groupIdx))
+	}
 	return strings.Join(parts, ",")
+}
+
+// malformedKeyLabel is the diagnostic label for group keys whose length does
+// not match the query's group-by encoding.
+func malformedKeyLabel(key string, groupCols int) string {
+	return fmt.Sprintf("<malformed key: %d bytes for %d group-by column(s)>", len(key), groupCols)
 }
 
 // FinalValues converts an answer's accumulators into the d final aggregate
@@ -280,12 +518,13 @@ func (c *Compiled) FinalValues(a *Answer) map[string][]float64 {
 // to score experiments) and also returns the per-partition answers, which
 // both training-label generation and error evaluation reuse.
 func (c *Compiled) GroundTruth(t *table.Table) (total *Answer, perPart []*Answer) {
-	// Partitions are scanned in parallel; the fold over per-partition
-	// answers stays sequential in partition order so the accumulator sums
-	// are bit-identical to a single-threaded scan at any worker count.
-	perPart = exec.Map(len(t.Parts), c.Exec, func(i int) *Answer {
-		return c.EvalPartition(t.Parts[i])
-	})
+	// Partitions are scanned in parallel with one scratch per worker (no
+	// per-partition allocation); the fold over per-partition answers stays
+	// sequential in partition order so the accumulator sums are
+	// bit-identical to a single-threaded scan at any worker count.
+	perPart = exec.MapWith(len(t.Parts), c.Exec,
+		func() *scratch { return &scratch{} },
+		func(sc *scratch, i int) *Answer { return c.evalPartition(t.Parts[i], sc) })
 	total = c.NewAnswer()
 	for _, pa := range perPart {
 		total.Merge(pa)
@@ -294,21 +533,38 @@ func (c *Compiled) GroundTruth(t *table.Table) (total *Answer, perPart []*Answer
 }
 
 // Selectivity returns the exact fraction of the table's rows that satisfy
-// the query's predicate.
+// the query's predicate. The predicate runs as a selection kernel per
+// partition; the passing count is the surviving selection's length.
 func (c *Compiled) Selectivity(t *table.Table) float64 {
-	// Integer counts merge exactly, so per-worker accumulators suffice.
-	type counts struct{ pass, rows int }
+	// Integer counts merge exactly, so per-worker accumulators suffice; the
+	// scratch rides in the accumulator, giving one per block.
+	type counts struct {
+		pass, rows int
+		sc         *scratch
+	}
 	total := exec.Reduce(len(t.Parts), c.Exec,
-		func() counts { return counts{} },
+		func() counts { return counts{sc: &scratch{}} },
 		func(acc counts, i int) counts {
 			p := t.Parts[i]
 			n := p.Rows()
 			acc.rows += n
-			for r := 0; r < n; r++ {
-				if c.pred(p, r) {
-					acc.pass++
-				}
+			if n == 0 {
+				return acc
 			}
+			var sel []int32
+			switch {
+			case c.predSeed != nil:
+				sel = c.predSeed(p, n, acc.sc.selBuf(n))
+			case c.predKern != nil:
+				sel = acc.sc.fullSel(n)
+			default:
+				acc.pass += n
+				return acc
+			}
+			if c.predKern != nil && len(sel) > 0 {
+				sel = c.predKern(p, sel, acc.sc)
+			}
+			acc.pass += len(sel)
 			return acc
 		},
 		func(a, b counts) counts {
@@ -328,9 +584,9 @@ func (c *Compiled) Selectivity(t *table.Table) float64 {
 // in parallel; the weighted combine runs in selection order, keeping the
 // answer bit-identical to a sequential evaluation.
 func (c *Compiled) Estimate(t *table.Table, sel []WeightedPartition) *Answer {
-	parts := exec.Map(len(sel), c.Exec, func(i int) *Answer {
-		return c.EvalPartition(t.Read(sel[i].Part))
-	})
+	parts := exec.MapWith(len(sel), c.Exec,
+		func() *scratch { return &scratch{} },
+		func(sc *scratch, i int) *Answer { return c.evalPartition(t.Read(sel[i].Part), sc) })
 	ans := c.NewAnswer()
 	for i, pa := range parts {
 		ans.AddWeighted(pa, sel[i].Weight)

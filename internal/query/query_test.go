@@ -210,6 +210,98 @@ func TestSelectivity(t *testing.T) {
 	}
 }
 
+func TestSelectivityZeroRowTable(t *testing.T) {
+	empty := &table.Table{Schema: fixture(t, 25).Schema, Dict: table.NewDict()}
+	q := &Query{
+		Aggs: []Aggregate{{Kind: Count}},
+		Pred: &Clause{Col: "x", Op: OpLt, Num: 25},
+	}
+	c := mustCompile(t, q, empty)
+	if got := c.Selectivity(empty); got != 0 {
+		t.Errorf("Selectivity on zero-row table = %g, want 0", got)
+	}
+	total, perPart := c.GroundTruth(empty)
+	if total.NumGroups() != 0 || len(perPart) != 0 {
+		t.Errorf("GroundTruth on zero-row table: %d groups / %d partitions, want 0/0",
+			total.NumGroups(), len(perPart))
+	}
+}
+
+func TestUnseenCategoricalPredicates(t *testing.T) {
+	tbl := fixture(t, 25)
+	cases := []struct {
+		pred Pred
+		want float64 // selectivity
+	}{
+		{&Clause{Col: "cat", Op: OpEq, Strs: []string{"zzz"}}, 0},
+		{&Clause{Col: "cat", Op: OpNe, Strs: []string{"zzz"}}, 1},
+		{&Clause{Col: "cat", Op: OpIn, Strs: []string{"zzz", "a"}}, 0.5},
+		{&Not{Child: &Clause{Col: "cat", Op: OpIn, Strs: []string{"zzz"}}}, 1},
+	}
+	for _, tc := range cases {
+		q := &Query{Aggs: []Aggregate{{Kind: Count}}, Pred: tc.pred}
+		c := mustCompile(t, q, tbl)
+		if got := c.Selectivity(tbl); got != tc.want {
+			t.Errorf("pred %s: selectivity = %g, want %g", tc.pred, got, tc.want)
+		}
+		if got, want := c.Selectivity(tbl), c.SelectivityReference(tbl); got != want {
+			t.Errorf("pred %s: vectorized selectivity %g != reference %g", tc.pred, got, want)
+		}
+	}
+}
+
+func TestFilterRejectsAllSelectedRows(t *testing.T) {
+	tbl := fixture(t, 25)
+	q := &Query{
+		GroupBy: []string{"cat"},
+		Aggs: []Aggregate{
+			{Kind: Count, Filter: &Clause{Col: "x", Op: OpLt, Num: -1}},
+			{Kind: Sum, Expr: Col("x"), Filter: &Clause{Col: "x", Op: OpLt, Num: -1}},
+			{Kind: Avg, Expr: Col("x"), Filter: &Clause{Col: "x", Op: OpLt, Num: -1}},
+			{Kind: Count},
+		},
+	}
+	c := mustCompile(t, q, tbl)
+	total, _ := c.GroundTruth(tbl)
+	vals := c.FinalValues(total)
+	if len(vals) != 2 {
+		t.Fatalf("got %d groups, want 2 (groups exist even when filters reject all rows)", len(vals))
+	}
+	for g, v := range vals {
+		if v[0] != 0 || v[1] != 0 || v[2] != 0 {
+			t.Errorf("group %s: filtered aggs = %v, want zeros", c.GroupLabel(g), v[:3])
+		}
+		if v[3] != 50 {
+			t.Errorf("group %s: unfiltered count = %g, want 50", c.GroupLabel(g), v[3])
+		}
+	}
+}
+
+func TestGroupLabelMalformedKey(t *testing.T) {
+	tbl := fixture(t, 25)
+	q := &Query{
+		GroupBy: []string{"cat", "x"},
+		Aggs:    []Aggregate{{Kind: Count}},
+	}
+	c := mustCompile(t, q, tbl)
+	// A well-formed key is 4 (categorical code) + 8 (numeric) bytes.
+	for _, key := range []string{"", "xx", "0123456789a", "0123456789abcdef0"} {
+		if got := c.GroupLabel(key); !strings.Contains(got, "malformed") {
+			t.Errorf("GroupLabel(%d bytes) = %q, want diagnostic label", len(key), got)
+		}
+	}
+	// A key carrying an out-of-range dictionary code must not panic.
+	bad := string([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	if got := c.GroupLabel(bad); !strings.Contains(got, "bad code") {
+		t.Errorf("GroupLabel(bad code) = %q, want bad-code diagnostic", got)
+	}
+	// Ungrouped queries keep the sentinel label.
+	c2 := mustCompile(t, &Query{Aggs: []Aggregate{{Kind: Count}}}, tbl)
+	if got := c2.GroupLabel(""); got != "<all>" {
+		t.Errorf("ungrouped GroupLabel = %q, want <all>", got)
+	}
+}
+
 func TestCompileErrors(t *testing.T) {
 	tbl := fixture(t, 50)
 	cases := []*Query{

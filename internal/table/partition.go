@@ -30,6 +30,16 @@ func NewPartition(s *Schema) *Partition {
 // Rows returns the number of rows stored in the partition.
 func (p *Partition) Rows() int { return p.rows }
 
+// NumCol returns the numeric data of column c, or nil for categorical
+// columns. The slice is the partition's backing store: callers (such as the
+// query layer's vectorized kernels) must treat it as read-only.
+func (p *Partition) NumCol(c int) []float64 { return p.Num[c] }
+
+// CatCol returns the dictionary codes of column c, or nil for numeric
+// columns. The slice is the partition's backing store: callers must treat
+// it as read-only.
+func (p *Partition) CatCol(c int) []uint32 { return p.Cat[c] }
+
 // SizeBytes estimates the in-storage footprint of the partition: 8 bytes per
 // numeric cell and 4 per categorical cell. Used by the I/O accountant.
 func (p *Partition) SizeBytes() int {
