@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-exec vet fmt-check verify
+.PHONY: build test race race-serve bench bench-exec serve-bench vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Race pass over the parallel execution surface: the scan engine and
-# every layer that fans out onto it.
+# Race pass over the parallel execution surface: the scan engine, every
+# layer that fans out onto it, and the concurrent serving layer.
 race:
-	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/
+	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/ ./internal/serve/
+
+# Serving-layer race test alone: N goroutines on one snapshot-restored
+# system must match the sequential baseline bit for bit.
+race-serve:
+	$(GO) test -race -count=1 -run 'TestConcurrentServingMatchesSequentialBaseline' ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -20,6 +25,10 @@ bench:
 # row-at-a-time reference evaluator.
 bench-exec:
 	$(GO) test -bench 'BenchmarkEvalPartition|BenchmarkSelectivity' -benchmem -run '^$$' .
+
+# Sustained concurrent serving throughput over a restored snapshot.
+serve-bench:
+	$(GO) test -bench BenchmarkServeThroughput -benchmem -run '^$$' ./internal/serve/
 
 vet: fmt-check
 	$(GO) vet ./...

@@ -1,0 +1,106 @@
+// Command ps3serve is the online half of the paper's deployment model: it
+// cold-starts a trained PS3 system from a snapshot (no retraining — the
+// offline pass was paid once by ps3train) and serves approximate queries
+// over HTTP/JSON:
+//
+//	ps3serve -table /tmp/aria.tbl -snapshot /tmp/aria.snap -addr :8080
+//	curl -s localhost:8080/query -d '{"sql":"SELECT TenantId, COUNT(*) FROM t GROUP BY TenantId","budget":0.05}'
+//	curl -s localhost:8080/stats
+//
+// With -loadgen it instead benchmarks sustained concurrent throughput
+// against the in-process server, cycling over sampled workload queries:
+//
+//	ps3serve -table /tmp/aria.tbl -snapshot /tmp/aria.snap -loadgen -requests 2000 -concurrency 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"ps3/internal/core"
+	"ps3/internal/query"
+	"ps3/internal/serve"
+	"ps3/internal/table"
+)
+
+func main() {
+	var (
+		tblPath  = flag.String("table", "", "binary table file (written by ps3gen -out); required")
+		snapPath = flag.String("snapshot", "", "trained-system snapshot (written by ps3train -out); required")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		budget   = flag.Float64("budget", 0.05, "default budget fraction for requests that omit one")
+		cache    = flag.Int("cache", 0, "compiled-query cache entries (0 = default 256)")
+		inflight = flag.Int("maxinflight", 0, "max concurrent partition scans (0 = 2×GOMAXPROCS)")
+
+		loadgen = flag.Bool("loadgen", false, "run the load generator instead of listening")
+		queries = flag.Int("queries", 20, "loadgen: distinct workload queries to cycle over")
+		reqs    = flag.Int("requests", 1000, "loadgen: total requests")
+		conc    = flag.Int("concurrency", 8, "loadgen: concurrent client workers")
+		seed    = flag.Int64("seed", 99, "loadgen: query sampling seed")
+	)
+	flag.Parse()
+	if *tblPath == "" || *snapPath == "" {
+		fatal(fmt.Errorf("-table and -snapshot are required"))
+	}
+
+	t0 := time.Now()
+	tf, err := os.Open(*tblPath)
+	if err != nil {
+		fatal(err)
+	}
+	tbl, err := table.ReadTable(tf)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		fatal(err)
+	}
+	sf, err := os.Open(*snapPath)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.OpenSnapshot(sf, tbl)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(sys, serve.Config{DefaultBudget: *budget, CacheSize: *cache, MaxInFlight: *inflight})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cold start in %v: %d rows, %d partitions, trained picker restored (no retraining)\n",
+		time.Since(t0).Round(time.Millisecond), tbl.NumRows(), tbl.NumParts())
+
+	if *loadgen {
+		gen, err := query.NewGenerator(sys.Opts.Workload, tbl, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		qs := gen.SampleN(*queries)
+		fmt.Printf("loadgen: %d requests over %d queries, %d workers, budget %.2f\n",
+			*reqs, len(qs), *conc, *budget)
+		rep, err := srv.LoadGen(qs, *budget, *conc, *reqs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		m := srv.Stats()
+		fmt.Printf("cache: %d hits / %d misses (%d entries)\n", m.CacheHits, m.CacheMisses, m.CacheLen)
+		return
+	}
+
+	fmt.Printf("listening on %s (POST /query, GET /stats, GET /healthz)\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ps3serve:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"ps3/internal/exec"
 	"ps3/internal/picker"
 	"ps3/internal/query"
+	"ps3/internal/sketch"
 	"ps3/internal/stats"
 	"ps3/internal/table"
 )
@@ -186,8 +187,17 @@ func (s *System) Pick(q *query.Query, budgetFrac float64) ([]query.WeightedParti
 	}
 	features := s.Stats.Features(q)
 	n := budgetParts(budgetFrac, s.Table.NumParts())
-	rng := rand.New(rand.NewSource(s.Opts.Seed ^ int64(len(q.String()))))
-	return s.Picker.Pick(q, features, n, rng), nil
+	return s.Picker.Pick(q, features, n, s.pickRNG(q)), nil
+}
+
+// pickRNG derives the query-time randomness stream: the system seed mixed
+// with a hash of the full query text, so distinct queries get independent
+// streams (length alone collides — every equal-length query would share one
+// stream) while repeated runs of the same query stay deterministic. Each
+// call returns a fresh generator, which is what makes Pick and Run safe to
+// invoke from concurrent requests.
+func (s *System) pickRNG(q *query.Query) *rand.Rand {
+	return rand.New(rand.NewSource(s.Opts.Seed ^ int64(sketch.HashString(q.String()))))
 }
 
 // Result is the outcome of an approximate query execution.
@@ -203,14 +213,29 @@ type Result struct {
 	FracRead  float64
 }
 
+// Compile binds q to the system's table, ready for repeated execution via
+// RunCompiled. The serve layer caches the result per canonical query text so
+// sustained traffic skips predicate compilation; a Compiled is safe for
+// concurrent use.
+func (s *System) Compile(q *query.Query) (*query.Compiled, error) {
+	return s.compile(q)
+}
+
 // Run picks partitions for q at the budget, reads them through the I/O
 // accountant, and returns the combined approximate answer.
 func (s *System) Run(q *query.Query, budgetFrac float64) (*Result, error) {
-	sel, err := s.Pick(q, budgetFrac)
+	c, err := s.compile(q)
 	if err != nil {
 		return nil, err
 	}
-	c, err := s.compile(q)
+	return s.RunCompiled(c, budgetFrac)
+}
+
+// RunCompiled is Run for a pre-compiled query. It is safe for concurrent
+// callers: picking derives a fresh per-request RNG, and evaluation state
+// lives in per-call (or pooled per-worker) buffers.
+func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, error) {
+	sel, err := s.Pick(c.Q, budgetFrac)
 	if err != nil {
 		return nil, err
 	}

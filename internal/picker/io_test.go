@@ -1,0 +1,129 @@
+package picker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ps3/internal/query"
+	"ps3/internal/stats"
+)
+
+// pickAll runs one deterministic pick per example at a few budgets and
+// returns the selections, for equivalence comparisons.
+func pickAll(p *Picker, exs []Example, budgets []int, seed int64) [][]query.WeightedPartition {
+	var out [][]query.WeightedPartition
+	for qi, ex := range exs {
+		for _, n := range budgets {
+			rng := rand.New(rand.NewSource(seed + int64(qi)))
+			out = append(out, p.Pick(ex.Query, ex.Features, n, rng))
+		}
+	}
+	return out
+}
+
+func sameSelections(t *testing.T, a, b [][]query.WeightedPartition) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("selection counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("pick %d: %d vs %d partitions selected", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("pick %d entry %d differs: %+v vs %+v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestPickerRoundTripBitIdenticalPicks(t *testing.T) {
+	env := newTestEnv(t, 14, 20, Config{K: 2, Seed: 5, FeatureSelection: true, FeatureSelRestarts: 2})
+	var buf bytes.Buffer
+	n, err := env.p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadPicker(&buf, env.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regs) != len(env.p.Regs) {
+		t.Fatalf("round trip: %d funnel stages, want %d", len(back.Regs), len(env.p.Regs))
+	}
+	if len(back.Excluded) != len(env.p.Excluded) {
+		t.Fatalf("round trip: %d excluded kinds, want %d", len(back.Excluded), len(env.p.Excluded))
+	}
+	for k := range env.p.Excluded {
+		if env.p.Excluded[k] != back.Excluded[k] {
+			t.Fatalf("excluded kind %v lost in round trip", k)
+		}
+	}
+	budgets := []int{2, 5, 9}
+	sameSelections(t, pickAll(env.p, env.exs[:8], budgets, 41), pickAll(back, env.exs[:8], budgets, 41))
+}
+
+func TestReadPickerRejectsWrongStore(t *testing.T) {
+	env := newTestEnv(t, 10, 20, Config{K: 2, Seed: 6})
+	var buf bytes.Buffer
+	if _, err := env.p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// An empty store has no feature space at all.
+	if _, err := ReadPicker(bytes.NewReader(buf.Bytes()), &stats.TableStats{}); err == nil {
+		t.Fatal("want error restoring against an empty store")
+	}
+	env2 := newTestEnv(t, 10, 20, Config{K: 2, Seed: 6})
+	// Same schema → same dimension → accepted.
+	if _, err := ReadPicker(bytes.NewReader(buf.Bytes()), env2.ts); err != nil {
+		t.Fatalf("rebinding to an equal-dimension store should work: %v", err)
+	}
+}
+
+func TestReadPickerRejectsGarbage(t *testing.T) {
+	env := newTestEnv(t, 8, 15, Config{K: 1, Seed: 7})
+	if _, err := ReadPicker(bytes.NewReader([]byte("junk")), env.ts); err == nil {
+		t.Fatal("want error decoding garbage")
+	}
+}
+
+func TestLSSRoundTripBitIdenticalPicks(t *testing.T) {
+	env := newTestEnv(t, 12, 20, Config{Seed: 8})
+	l, err := TrainLSS(env.ts, env.exs, []float64{0.1, 0.3}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLSS(&buf, env.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DefaultStrataSize != l.DefaultStrataSize || back.Seed != l.Seed {
+		t.Fatalf("round trip changed config: %+v vs %+v", back, l)
+	}
+	if len(back.StrataSize) != len(l.StrataSize) {
+		t.Fatalf("round trip: %d strata entries, want %d", len(back.StrataSize), len(l.StrataSize))
+	}
+	for _, ex := range env.exs[:5] {
+		for _, frac := range []float64{0.1, 0.3, 0.5} {
+			a := l.Pick(ex.Features, frac, rand.New(rand.NewSource(3)))
+			b := back.Pick(ex.Features, frac, rand.New(rand.NewSource(3)))
+			if len(a) != len(b) {
+				t.Fatalf("lss pick lengths differ: %d vs %d", len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("lss pick entry %d differs: %+v vs %+v", j, a[j], b[j])
+				}
+			}
+		}
+	}
+}

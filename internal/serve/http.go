@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// HTTP transport for the server: a small JSON API suitable for fronting with
+// any load balancer.
+//
+//	POST /query    {"sql": "...", "budget": 0.05}  → Response
+//	GET  /stats    → Metrics
+//	GET  /healthz  → 200 "ok"
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL    string  `json:"sql"`
+	Budget float64 `json:"budget"`
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API over the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"sql\" field"})
+		return
+	}
+	if req.Budget < 0 || req.Budget > 1 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "budget must be in (0, 1]"})
+		return
+	}
+	resp, err := s.QuerySQL(req.SQL, req.Budget)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ps3/internal/query"
+)
+
+// LoadReport summarizes one load-generation run against a server.
+type LoadReport struct {
+	Requests  int64
+	Failures  int64
+	Duration  time.Duration
+	QPS       float64
+	AvgMs     float64
+	P50Ms     float64
+	P95Ms     float64
+	MaxMs     float64
+	PartsRead int64
+}
+
+// String renders the report for logs.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms max %.2fms, %d partition reads",
+		r.Requests, r.Failures, r.Duration.Round(time.Millisecond), r.QPS, r.AvgMs, r.P50Ms, r.P95Ms, r.MaxMs, r.PartsRead)
+}
+
+// LoadGen drives total requests through the server from concurrency workers,
+// cycling round-robin over the given queries, and reports sustained
+// throughput and latency. It exercises the full serving path — cache,
+// admission control, picking and weighted scans — and is what `ps3serve
+// -loadgen` and the serve benchmark run.
+func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, total int) (LoadReport, error) {
+	if len(queries) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: loadgen needs at least one query")
+	}
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if total <= 0 {
+		total = len(queries)
+	}
+	var (
+		next     atomic.Int64
+		failures atomic.Int64
+		parts    atomic.Int64
+		wg       sync.WaitGroup
+	)
+	lats := make([][]time.Duration, concurrency)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, total/concurrency+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					break
+				}
+				t0 := time.Now()
+				resp, err := s.Query(queries[i%len(queries)], budget)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				mine = append(mine, time.Since(t0))
+				parts.Add(int64(resp.PartsRead))
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	rep := LoadReport{
+		Requests:  int64(total),
+		Failures:  failures.Load(),
+		Duration:  elapsed,
+		PartsRead: parts.Load(),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(total) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		rep.AvgMs = float64(sum) / float64(len(all)) / float64(time.Millisecond)
+		rep.P50Ms = float64(all[len(all)/2]) / float64(time.Millisecond)
+		rep.P95Ms = float64(all[len(all)*95/100]) / float64(time.Millisecond)
+		rep.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}

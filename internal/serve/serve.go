@@ -1,0 +1,284 @@
+// Package serve is PS3's online serving layer: a long-lived, concurrency-safe
+// query service over a trained (typically snapshot-restored) core.System.
+// It is the process shape of the paper's deployment model (Fig 1, §2.3.1):
+// statistics and picker training happen once offline, the trained artifact is
+// persisted (core.System.WriteTo), and any number of serving processes
+// restore it (core.OpenSnapshot) and answer approximate queries without
+// retraining.
+//
+// The server adds what sustained concurrent traffic needs on top of
+// System.Run:
+//
+//   - a compiled-query cache keyed by canonical query text (an LRU), so hot
+//     queries skip SQL parsing's downstream compilation work;
+//   - per-request randomness: each request derives its own RNG from the
+//     system seed and a hash of the query text (core.System.Pick), so
+//     concurrent requests never share a randomness stream and answers stay
+//     deterministic per query;
+//   - bounded in-flight execution: a semaphore caps concurrent partition
+//     scans so a traffic burst degrades to queueing instead of
+//     oversubscribing the scan engine;
+//   - request, cache and latency counters for operational visibility.
+//
+// Answers are identical to calling System.Run directly — caching and
+// admission control never change results.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ps3/internal/core"
+	"ps3/internal/query"
+	"ps3/internal/sql"
+)
+
+// Config tunes the server; zero values take the defaults noted per field.
+type Config struct {
+	// DefaultBudget is the budget fraction used when a request does not
+	// specify one (default 0.05).
+	DefaultBudget float64
+	// CacheSize caps the compiled-query LRU (default 256 entries).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing partition scans; further
+	// requests queue (default 2 × GOMAXPROCS).
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 0.05
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is a concurrency-safe query service over one trained System. All
+// methods are safe for concurrent use.
+type Server struct {
+	sys *core.System
+	cfg Config
+
+	// mu guards the compiled-query LRU (entries map + recency list).
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	recency *list.List // front = most recently used
+
+	// sem bounds in-flight scans.
+	sem chan struct{}
+
+	requests    atomic.Int64
+	failures    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	partsRead   atomic.Int64
+	inFlight    atomic.Int64
+	latencyNs   atomic.Int64
+	maxLatency  atomic.Int64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	c   *query.Compiled
+}
+
+// New returns a server over sys, which must already be trained (a serving
+// process restores a trained system from a snapshot; it never trains).
+func New(sys *core.System, cfg Config) (*Server, error) {
+	if sys.Picker == nil {
+		return nil, fmt.Errorf("serve: system is not trained; restore a trained snapshot or call Train first")
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		sys:     sys,
+		cfg:     cfg,
+		entries: make(map[string]*list.Element, cfg.CacheSize),
+		recency: list.New(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// System returns the underlying system (read-only use).
+func (s *Server) System() *core.System { return s.sys }
+
+// Response is one served answer, shaped for JSON transport: groups are
+// label-sorted so responses are stable and diffable.
+type Response struct {
+	Query     string   `json:"query"`
+	Budget    float64  `json:"budget"`
+	Groups    []Group  `json:"groups"`
+	Aggs      []string `json:"aggs"`
+	PartsRead int      `json:"parts_read"`
+	FracRead  float64  `json:"frac_read"`
+	Cached    bool     `json:"cached"`
+	LatencyMs float64  `json:"latency_ms"`
+}
+
+// Group is one group's aggregate values under its human-readable label.
+type Group struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// QuerySQL parses SQL text, executes it at the budget fraction (0 = the
+// server default) and returns the transport-shaped response.
+func (s *Server) QuerySQL(sqlText string, budget float64) (*Response, error) {
+	q, _, err := sql.Parse(sqlText)
+	if err != nil {
+		s.requests.Add(1)
+		s.failures.Add(1)
+		return nil, err
+	}
+	return s.Query(q, budget)
+}
+
+// Query executes q at the budget fraction (0 = the server default). The
+// result is identical to sys.Run(q, budget): the compiled-query cache and
+// admission control are invisible in the answer.
+func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	if budget <= 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	c, cached, err := s.compiled(q)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+
+	// Bound in-flight scans: a burst beyond MaxInFlight queues here. The
+	// release is deferred so a panic during evaluation (recovered per
+	// request by net/http) can't leak the slot and wedge the server.
+	res, err := func() (*core.Result, error) {
+		s.sem <- struct{}{}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}()
+		return s.sys.RunCompiled(c, budget)
+	}()
+
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	lat := time.Since(start)
+	s.latencyNs.Add(int64(lat))
+	updateMax(&s.maxLatency, int64(lat))
+	s.partsRead.Add(int64(res.PartsRead))
+
+	resp := &Response{
+		Query:     q.String(),
+		Budget:    budget,
+		PartsRead: res.PartsRead,
+		FracRead:  res.FracRead,
+		Cached:    cached,
+		LatencyMs: float64(lat) / float64(time.Millisecond),
+	}
+	for _, a := range q.Aggs {
+		resp.Aggs = append(resp.Aggs, a.String())
+	}
+	for g, vals := range res.Values {
+		resp.Groups = append(resp.Groups, Group{Label: res.Labels[g], Values: vals})
+	}
+	sort.Slice(resp.Groups, func(a, b int) bool { return resp.Groups[a].Label < resp.Groups[b].Label })
+	return resp, nil
+}
+
+// compiled resolves q through the LRU, compiling on miss. When two requests
+// race on the same uncached query, the second insert loses and adopts the
+// winner's compilation, so the cache never holds duplicate keys.
+func (s *Server) compiled(q *query.Query) (c *query.Compiled, hit bool, err error) {
+	key := q.String()
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.recency.MoveToFront(el)
+		c = el.Value.(*cacheEntry).c
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		return c, true, nil
+	}
+	s.mu.Unlock()
+
+	// Compile outside the lock: compilation cost must not serialize cache
+	// hits of other queries.
+	c, err = s.sys.Compile(q)
+	if err != nil {
+		return nil, false, err
+	}
+	s.cacheMisses.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.recency.MoveToFront(el)
+		return el.Value.(*cacheEntry).c, false, nil
+	}
+	s.entries[key] = s.recency.PushFront(&cacheEntry{key: key, c: c})
+	if s.recency.Len() > s.cfg.CacheSize {
+		last := s.recency.Back()
+		s.recency.Remove(last)
+		delete(s.entries, last.Value.(*cacheEntry).key)
+	}
+	return c, false, nil
+}
+
+// CacheLen returns the number of cached compiled queries.
+func (s *Server) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recency.Len()
+}
+
+// Metrics is a point-in-time snapshot of the server's counters.
+type Metrics struct {
+	Requests     int64   `json:"requests"`
+	Failures     int64   `json:"failures"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheLen     int     `json:"cache_len"`
+	PartsRead    int64   `json:"parts_read"`
+	InFlight     int64   `json:"in_flight"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+}
+
+// Stats snapshots the counters. Averages are over successful requests.
+func (s *Server) Stats() Metrics {
+	m := Metrics{
+		Requests:    s.requests.Load(),
+		Failures:    s.failures.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+		CacheLen:    s.CacheLen(),
+		PartsRead:   s.partsRead.Load(),
+		InFlight:    s.inFlight.Load(),
+	}
+	if ok := m.Requests - m.Failures; ok > 0 {
+		m.AvgLatencyMs = float64(s.latencyNs.Load()) / float64(ok) / float64(time.Millisecond)
+	}
+	m.MaxLatencyMs = float64(s.maxLatency.Load()) / float64(time.Millisecond)
+	return m
+}
+
+// updateMax raises *a to v if v is larger (lock-free max).
+func updateMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

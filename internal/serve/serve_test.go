@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ps3/internal/core"
+	"ps3/internal/dataset"
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// restoredSystem trains a small system, snapshots it together with its
+// table, and restores both from bytes — the serving deployment shape: the
+// server always fronts a snapshot-restored system, never the process that
+// trained.
+func restoredSystem(t testing.TB, trainN int) (*core.System, []*query.Query) {
+	t.Helper()
+	ds, err := dataset.Aria(dataset.Config{Rows: 16000, Parts: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(ds.Table, core.Options{Workload: ds.Workload, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := query.NewGenerator(ds.Workload, ds.Table, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(gen.SampleN(trainN), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var tblBuf, snapBuf bytes.Buffer
+	if _, err := ds.Table.WriteTo(&tblBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.WriteTo(&snapBuf); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := table.ReadTable(&tblBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.OpenSnapshot(&snapBuf, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored, gen.SampleN(12)
+}
+
+func TestNewRequiresTrainedSystem(t *testing.T) {
+	ds, err := dataset.Aria(dataset.Config{Rows: 2000, Parts: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(ds.Table, core.Options{Workload: ds.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sys, Config{}); err == nil {
+		t.Fatal("want error for untrained system")
+	}
+}
+
+func TestServeMatchesDirectRun(t *testing.T) {
+	sys, queries := restoredSystem(t, 20)
+	srv, err := New(sys, Config{DefaultBudget: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		direct, err := sys.Run(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Query(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.PartsRead != direct.PartsRead {
+			t.Fatalf("query %s: served %d parts, direct %d", q, resp.PartsRead, direct.PartsRead)
+		}
+		if len(resp.Groups) != len(direct.Values) {
+			t.Fatalf("query %s: served %d groups, direct %d", q, len(resp.Groups), len(direct.Values))
+		}
+		want := make(map[string][]float64, len(direct.Values))
+		for g, vals := range direct.Values {
+			want[direct.Labels[g]] = vals
+		}
+		for _, grp := range resp.Groups {
+			if !reflect.DeepEqual(want[grp.Label], grp.Values) {
+				t.Fatalf("query %s group %q: served %v, direct %v", q, grp.Label, grp.Values, want[grp.Label])
+			}
+		}
+	}
+}
+
+func TestServeCacheHitsAndEviction(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	srv, err := New(sys, Config{CacheSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queries[0]
+	if _, err := srv.Query(q, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Query(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("second execution of the same query missed the cache")
+	}
+	m := srv.Stats()
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("cache counters: %d hits / %d misses, want 1/1", m.CacheHits, m.CacheMisses)
+	}
+	// Fill past capacity; the LRU must stay bounded.
+	for _, qq := range queries[1:] {
+		if _, err := srv.Query(qq, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.CacheLen(); got > 3 {
+		t.Fatalf("cache grew to %d entries, cap is 3", got)
+	}
+	// SQL text canonicalization: differently-formatted SQL for the same
+	// query shares one cache entry.
+	srv2, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.QuerySQL("SELECT COUNT(*) FROM t", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := srv2.QuerySQL("select   count(*)   from t", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatal("canonically equal SQL text missed the cache")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	sys, _ := restoredSystem(t, 15)
+	srv, err := New(sys, Config{DefaultBudget: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := post(`{"sql": "SELECT TenantId, COUNT(*) FROM t GROUP BY TenantId", "budget": 0.2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query returned %d: %s", resp.StatusCode, body)
+	}
+	var qr Response
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if qr.PartsRead == 0 || len(qr.Groups) == 0 {
+		t.Fatalf("empty served answer: %+v", qr)
+	}
+
+	if resp, body = post(`{"sql": ""}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing sql returned %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = post(`{"sql": "SELECT", "budget": 0.1}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unparsable sql returned %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = post(`{"sql": "SELECT COUNT(*) FROM t", "budget": 7}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range budget returned %d: %s", resp.StatusCode, body)
+	}
+	if resp, body = post(`{bad json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json returned %d: %s", resp.StatusCode, body)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(sresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 {
+		t.Fatalf("stats show no requests: %+v", m)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", hresp.StatusCode)
+	}
+}
+
+// TestConcurrentServingMatchesSequentialBaseline is the serving-layer race
+// test: N goroutines fan requests over one restored system through both the
+// server and System.Run directly, and every concurrent answer must equal
+// the sequential baseline computed up front. Run under -race (make race).
+func TestConcurrentServingMatchesSequentialBaseline(t *testing.T) {
+	sys, queries := restoredSystem(t, 20)
+	srv, err := New(sys, Config{MaxInFlight: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 0.15
+
+	// Sequential baseline.
+	type baseline struct {
+		values map[string][]float64
+		parts  int
+	}
+	want := make([]baseline, len(queries))
+	for i, q := range queries {
+		res, err := sys.Run(q, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make(map[string][]float64, len(res.Values))
+		for g, v := range res.Values {
+			vals[res.Labels[g]] = v
+		}
+		want[i] = baseline{values: vals, parts: res.PartsRead}
+	}
+
+	const workers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds*len(queries))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, q := range queries {
+					// Alternate between the serve path and the direct
+					// System.Run path, as the satellite task specifies.
+					if (w+r+i)%2 == 0 {
+						resp, err := srv.Query(q, budget)
+						if err != nil {
+							errs <- err
+							continue
+						}
+						if resp.PartsRead != want[i].parts {
+							errs <- fmt.Errorf("query %d: served %d parts, baseline %d", i, resp.PartsRead, want[i].parts)
+						}
+						for _, grp := range resp.Groups {
+							if !reflect.DeepEqual(want[i].values[grp.Label], grp.Values) {
+								errs <- fmt.Errorf("query %d group %q: served %v, baseline %v",
+									i, grp.Label, grp.Values, want[i].values[grp.Label])
+							}
+						}
+					} else {
+						res, err := sys.Run(q, budget)
+						if err != nil {
+							errs <- err
+							continue
+						}
+						if res.PartsRead != want[i].parts {
+							errs <- fmt.Errorf("query %d: direct %d parts, baseline %d", i, res.PartsRead, want[i].parts)
+						}
+						for g, v := range res.Values {
+							if !reflect.DeepEqual(want[i].values[res.Labels[g]], v) {
+								errs <- fmt.Errorf("query %d group %q: direct %v, baseline %v",
+									i, res.Labels[g], v, want[i].values[res.Labels[g]])
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	m := srv.Stats()
+	if m.Failures != 0 {
+		t.Fatalf("server recorded %d failures", m.Failures)
+	}
+	if m.InFlight != 0 {
+		t.Fatalf("in-flight gauge did not drain: %d", m.InFlight)
+	}
+}
+
+func TestLoadGen(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.LoadGen(queries[:4], 0.1, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 40 || rep.Failures != 0 {
+		t.Fatalf("loadgen report: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.MaxMs <= 0 {
+		t.Fatalf("loadgen produced empty timings: %+v", rep)
+	}
+	if _, err := srv.LoadGen(nil, 0.1, 2, 10); err == nil {
+		t.Fatal("want error with no queries")
+	}
+}
+
+// BenchmarkServeThroughput measures sustained concurrent serving throughput
+// over a restored snapshot (make serve-bench records this).
+func BenchmarkServeThroughput(b *testing.B) {
+	sys, queries := restoredSystem(b, 15)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cache so the steady state is measured.
+	for _, q := range queries {
+		if _, err := srv.Query(q, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := srv.Query(queries[i%len(queries)], 0.1); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	m := srv.Stats()
+	b.ReportMetric(float64(m.CacheHits)/float64(m.Requests), "cache-hit-ratio")
+}

@@ -54,6 +54,10 @@ var kindNames = [numKinds]string{
 
 func (k Kind) String() string { return kindNames[k] }
 
+// Valid reports whether k names a defined feature kind; used to validate
+// feature-selection state restored from untrusted snapshot data.
+func (k Kind) Valid() bool { return k < numKinds }
+
 // Category groups kinds into the four sketch families of Fig 5.
 type Category uint8
 

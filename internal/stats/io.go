@@ -88,6 +88,13 @@ func (ts *TableStats) WriteTo(w io.Writer) (int64, error) {
 // ReadStats deserializes a statistics store written with WriteTo. The
 // returned store is fully usable for feature extraction and picking; it
 // does not need (and does not reference) the original table data.
+//
+// The wire data is untrusted and validated before the feature matrix is
+// rebuilt: per-partition column counts must match the schema width, global
+// heavy-hitter columns must exist, and a persisted normalization scale must
+// match the rebuilt feature dimension. Gob also decodes empty maps as nil
+// (partWire.Bitmap, statsWire.GlobalHH); those are re-materialized so
+// downstream bitmap lookups never see a nil map.
 func ReadStats(r io.Reader) (*TableStats, error) {
 	var wire statsWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
@@ -110,8 +117,24 @@ func ReadStats(r io.Reader) (*TableStats, error) {
 	if ts.GlobalHH == nil {
 		ts.GlobalHH = make(map[int][]uint32)
 	}
-	for _, pw := range wire.Parts {
+	for ci := range ts.GlobalHH {
+		if ci < 0 || ci >= schema.NumCols() {
+			return nil, fmt.Errorf("stats: corrupt store: global heavy hitters for column %d, schema has %d columns",
+				ci, schema.NumCols())
+		}
+	}
+	for i, pw := range wire.Parts {
+		if len(pw.Cols) != schema.NumCols() {
+			return nil, fmt.Errorf("stats: corrupt store: partition entry %d has %d column sketch sets, schema has %d",
+				i, len(pw.Cols), schema.NumCols())
+		}
+		if pw.Rows < 0 {
+			return nil, fmt.Errorf("stats: corrupt store: partition entry %d has negative row count %d", i, pw.Rows)
+		}
 		ps := &PartitionStats{Part: pw.Part, Rows: pw.Rows, Bitmap: pw.Bitmap}
+		if ps.Bitmap == nil {
+			ps.Bitmap = make(map[int]uint32)
+		}
 		for _, cw := range pw.Cols {
 			cs := ColumnStats{
 				Measures: cw.Measures,
@@ -127,7 +150,13 @@ func ReadStats(r io.Reader) (*TableStats, error) {
 		ts.Parts = append(ts.Parts, ps)
 	}
 	ts.Space = newFeatureSpace(schema, ts.GlobalHH, ts.Opts)
-	ts.Space.Scale = wire.Scale
+	if len(wire.Scale) != 0 && len(wire.Scale) != ts.Space.Dim() {
+		return nil, fmt.Errorf("stats: corrupt store: normalization scale has %d entries, feature space has %d",
+			len(wire.Scale), ts.Space.Dim())
+	}
+	if len(wire.Scale) != 0 {
+		ts.Space.Scale = wire.Scale
+	}
 	ts.base = ts.buildBaseMatrix()
 	return ts, nil
 }

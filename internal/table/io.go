@@ -31,7 +31,11 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadTable deserializes a table previously written with WriteTo.
+// ReadTable deserializes a table previously written with WriteTo. The wire
+// data is untrusted: every partition is validated against the decoded schema
+// (slice counts match the schema width, slice lengths match the row count,
+// dictionary codes are in range) so a truncated or corrupted file fails here
+// with an error instead of panicking later inside the vectorized kernels.
 func ReadTable(r io.Reader) (*Table, error) {
 	var wire tableWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
@@ -41,14 +45,54 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(wire.PartsCat) != len(wire.PartsNum) || len(wire.PartsRows) != len(wire.PartsNum) {
+		return nil, fmt.Errorf("table: corrupt file: %d numeric / %d categorical / %d row-count partition entries",
+			len(wire.PartsNum), len(wire.PartsCat), len(wire.PartsRows))
+	}
 	d := NewDict()
 	for _, v := range wire.DictVals {
 		d.Code(v)
 	}
+	dictLen := uint32(d.Len())
 	t := &Table{Schema: s, Dict: d}
 	for i := range wire.PartsNum {
-		p := &Partition{ID: i, Num: wire.PartsNum[i], Cat: wire.PartsCat[i], rows: wire.PartsRows[i]}
-		t.Parts = append(t.Parts, p)
+		rows := wire.PartsRows[i]
+		if rows < 0 {
+			return nil, fmt.Errorf("table: corrupt file: partition %d has negative row count %d", i, rows)
+		}
+		num, cat := wire.PartsNum[i], wire.PartsCat[i]
+		if len(num) != s.NumCols() || len(cat) != s.NumCols() {
+			return nil, fmt.Errorf("table: corrupt file: partition %d has %d numeric / %d categorical columns, schema has %d",
+				i, len(num), len(cat), s.NumCols())
+		}
+		for c, col := range s.Cols {
+			if col.IsNumeric() {
+				if len(num[c]) != rows {
+					return nil, fmt.Errorf("table: corrupt file: partition %d column %q has %d values for %d rows",
+						i, col.Name, len(num[c]), rows)
+				}
+				if len(cat[c]) != 0 {
+					return nil, fmt.Errorf("table: corrupt file: partition %d numeric column %q carries %d categorical codes",
+						i, col.Name, len(cat[c]))
+				}
+				continue
+			}
+			if len(cat[c]) != rows {
+				return nil, fmt.Errorf("table: corrupt file: partition %d column %q has %d codes for %d rows",
+					i, col.Name, len(cat[c]), rows)
+			}
+			if len(num[c]) != 0 {
+				return nil, fmt.Errorf("table: corrupt file: partition %d categorical column %q carries %d numeric values",
+					i, col.Name, len(num[c]))
+			}
+			for r, code := range cat[c] {
+				if code >= dictLen {
+					return nil, fmt.Errorf("table: corrupt file: partition %d column %q row %d has dictionary code %d, dictionary holds %d values",
+						i, col.Name, r, code, dictLen)
+				}
+			}
+		}
+		t.Parts = append(t.Parts, &Partition{ID: i, Num: num, Cat: cat, rows: rows})
 	}
 	return t, nil
 }

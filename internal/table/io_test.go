@@ -1,0 +1,165 @@
+package table
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"strings"
+	"testing"
+)
+
+// encodeWire gob-encodes a hand-built tableWire, for corrupted-input tests.
+func encodeWire(t *testing.T, wire tableWire) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validWire captures the wire form of a small valid table.
+func validWire(t *testing.T) tableWire {
+	t.Helper()
+	tbl := buildTestTable(t, 20, 7)
+	return tableWire{
+		Cols:     tbl.Schema.Cols,
+		DictVals: tbl.Dict.vals,
+		PartsNum: func() [][][]float64 {
+			var out [][][]float64
+			for _, p := range tbl.Parts {
+				out = append(out, p.Num)
+			}
+			return out
+		}(),
+		PartsCat: func() [][][]uint32 {
+			var out [][][]uint32
+			for _, p := range tbl.Parts {
+				out = append(out, p.Cat)
+			}
+			return out
+		}(),
+		PartsRows: func() []int {
+			var out []int
+			for _, p := range tbl.Parts {
+				out = append(out, p.rows)
+			}
+			return out
+		}(),
+	}
+}
+
+func TestReadTableRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*tableWire)
+		msg    string
+	}{
+		{"partition list lengths disagree", func(w *tableWire) {
+			w.PartsRows = w.PartsRows[:len(w.PartsRows)-1]
+		}, "row-count partition entries"},
+		{"negative rows", func(w *tableWire) {
+			w.PartsRows[0] = -3
+		}, "negative row count"},
+		{"column count below schema width", func(w *tableWire) {
+			w.PartsNum[0] = w.PartsNum[0][:1]
+		}, "schema has"},
+		{"numeric column truncated", func(w *tableWire) {
+			w.PartsNum[0][0] = w.PartsNum[0][0][:2]
+		}, "values for"},
+		{"categorical column truncated", func(w *tableWire) {
+			w.PartsCat[0][1] = w.PartsCat[0][1][:3]
+		}, "codes for"},
+		{"dictionary code out of range", func(w *tableWire) {
+			w.PartsCat[0][1][0] = uint32(len(w.DictVals)) + 9
+		}, "dictionary"},
+		{"categorical data on numeric column", func(w *tableWire) {
+			w.PartsCat[0][0] = []uint32{0, 0, 0, 0, 0, 0, 0}
+		}, "carries"},
+		{"numeric data on categorical column", func(w *tableWire) {
+			w.PartsNum[0][1] = []float64{1, 2, 3, 4, 5, 6, 7}
+		}, "carries"},
+		{"duplicate column names", func(w *tableWire) {
+			w.Cols[1].Name = w.Cols[0].Name
+		}, "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wire := validWire(t)
+			c.mutate(&wire)
+			_, err := ReadTable(bytes.NewReader(encodeWire(t, wire)))
+			if err == nil {
+				t.Fatal("want error for corrupted table file")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+func TestReadTableTruncatedStream(t *testing.T) {
+	tbl := buildTestTable(t, 30, 10)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		if _, err := ReadTable(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("want error for stream truncated to %d of %d bytes", n, len(full))
+		}
+	}
+}
+
+func TestReadTableValidStillWorks(t *testing.T) {
+	tbl := buildTestTable(t, 25, 10)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() || got.NumParts() != tbl.NumParts() {
+		t.Fatalf("round trip changed shape: %d/%d rows, %d/%d parts",
+			got.NumRows(), tbl.NumRows(), got.NumParts(), tbl.NumParts())
+	}
+}
+
+// FuzzReadTable feeds arbitrary bytes to the decoder: it must either return
+// an error or produce a table whose invariants hold — validated decode means
+// full scans (WriteCSV touches every cell, including dictionary lookups)
+// cannot panic.
+func FuzzReadTable(f *testing.F) {
+	tbl := buildTestTable(nil, 20, 7)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("not a table"))
+	f.Add([]byte{})
+	// A corrupted variant: flip bytes in the middle of the payload.
+	mut := append([]byte(nil), valid...)
+	for i := len(mut) / 2; i < len(mut)/2+8 && i < len(mut); i++ {
+		mut[i] ^= 0xff
+	}
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTable(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.WriteCSV(io.Discard); err != nil {
+			t.Fatalf("decoded table fails a full scan: %v", err)
+		}
+		for _, p := range got.Parts {
+			_ = p.SizeBytes()
+		}
+	})
+}

@@ -39,11 +39,14 @@
 package ps3
 
 import (
+	"io"
+
 	"ps3/internal/core"
 	"ps3/internal/diagnose"
 	"ps3/internal/metrics"
 	"ps3/internal/picker"
 	"ps3/internal/query"
+	"ps3/internal/serve"
 	"ps3/internal/sketch"
 	sqlparse "ps3/internal/sql"
 	"ps3/internal/stats"
@@ -208,6 +211,31 @@ func Open(t *Table, opts Options) (*System, error) { return core.New(t, opts) }
 func OpenWithStats(t *Table, ts *TableStats, opts Options) (*System, error) {
 	return core.NewFromStats(t, ts, opts)
 }
+
+// OpenSnapshot restores a trained System from a snapshot written with
+// System.WriteTo and binds it to t. A snapshot bundles the statistics store,
+// the trained picker (and LSS baseline, if fitted) and the options, so a
+// fresh process cold-starts with zero retraining and produces bit-identical
+// selections and answers to the process that trained.
+func OpenSnapshot(r io.Reader, t *Table) (*System, error) { return core.OpenSnapshot(r, t) }
+
+// --- Serving layer (internal/serve) ---
+
+// Server is a long-lived, concurrency-safe query service over a trained
+// System: compiled-query LRU cache, per-request RNG derivation, bounded
+// in-flight scans, and request/latency counters. Its Handler method exposes
+// the HTTP/JSON API that cmd/ps3serve listens on.
+type Server = serve.Server
+
+// ServeConfig tunes a Server (default budget, cache size, max in-flight).
+type ServeConfig = serve.Config
+
+// ServeMetrics is a point-in-time snapshot of a Server's counters.
+type ServeMetrics = serve.Metrics
+
+// NewServer returns a serving layer over a trained (typically
+// snapshot-restored) system.
+func NewServer(sys *System, cfg ServeConfig) (*Server, error) { return serve.New(sys, cfg) }
 
 // --- Statistics and metrics ---
 
