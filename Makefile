@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec serve-bench vet fmt-check verify
+.PHONY: build test race race-serve bench bench-exec bench-store serve-bench vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,13 @@ test:
 # Race pass over the parallel execution surface: the scan engine, every
 # layer that fans out onto it, and the concurrent serving layer.
 race:
-	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/ ./internal/serve/
+	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/ ./internal/serve/ ./internal/store/
 
-# Serving-layer race test alone: N goroutines on one snapshot-restored
-# system must match the sequential baseline bit for bit.
+# Serving-layer race tests alone: N goroutines on one snapshot-restored
+# system — resident and store-backed with a thrashing partition cache —
+# must match the sequential baseline bit for bit.
 race-serve:
-	$(GO) test -race -count=1 -run 'TestConcurrentServingMatchesSequentialBaseline' ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestConcurrentServingMatchesSequentialBaseline|TestConcurrentPagedServingMatchesResidentBaseline' ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -25,6 +26,12 @@ bench:
 # row-at-a-time reference evaluator.
 bench-exec:
 	$(GO) test -bench 'BenchmarkEvalPartition|BenchmarkSelectivity' -benchmem -run '^$$' .
+
+# Paged partition store: cold scan (disk + CRC + decode per partition),
+# warm scan (cache hits), and the picked-subset serving shape with a cache
+# budget far below the dataset size.
+bench-store:
+	$(GO) test -bench 'BenchmarkStore' -benchmem -run '^$$' ./internal/store/
 
 # Sustained concurrent serving throughput over a restored snapshot.
 serve-bench:

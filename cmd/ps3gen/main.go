@@ -1,10 +1,16 @@
 // Command ps3gen generates one of the synthetic evaluation datasets, prints
 // its schema, layout and summary-statistics profile, and optionally exports
-// the rows as CSV or the table in PS3's binary format:
+// the rows as CSV or the table in PS3's paged store format:
 //
 //	ps3gen -dataset aria -rows 100000 -parts 200
 //	ps3gen -dataset tpch -csv /tmp/tpch.csv
 //	ps3gen -dataset kdd -out /tmp/kdd.ps3
+//
+// With -in it instead converts an existing table file — sniffing legacy gob
+// vs the paged store format — so old files migrate with one command:
+//
+//	ps3gen -in /tmp/old.tbl -out /tmp/new.ps3
+//	ps3gen -in /tmp/new.ps3 -out /tmp/legacy.tbl -gob
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 
 	"ps3/internal/dataset"
 	"ps3/internal/stats"
+	"ps3/internal/store"
+	"ps3/internal/table"
 )
 
 func main() {
@@ -26,48 +34,79 @@ func main() {
 		seed   = flag.Int64("seed", 42, "generation seed")
 		layout = flag.String("layout", "", "comma-separated sort columns overriding the default layout ('random' shuffles)")
 		csvOut = flag.String("csv", "", "write rows as CSV to this path")
-		binOut = flag.String("out", "", "write the table in binary format to this path")
+		binOut = flag.String("out", "", "write the table to this path (paged store format unless -gob)")
+		gobOut = flag.Bool("gob", false, "write -out in the legacy gob format instead of the paged store format")
+		in     = flag.String("in", "", "convert: load this table file (either format) instead of generating a dataset")
 	)
 	flag.Parse()
-
-	ds, err := dataset.ByName(*name, dataset.Config{Rows: *rows, Parts: *parts, Seed: *seed})
-	if err != nil {
-		fatal(err)
+	if *gobOut && *binOut == "" {
+		fatal(fmt.Errorf("-gob selects the encoding of -out; pass -out as well"))
 	}
-	if *layout != "" {
-		var cols []string
-		if *layout != "random" {
-			cols = strings.Split(*layout, ",")
-		}
-		ds, err = ds.WithLayout(cols)
+
+	var t *table.Table
+	if *in != "" {
+		// Conversion keeps the input's rows and layout verbatim: generation
+		// flags would be silently ignored, so reject them instead of letting
+		// the user believe a re-sort or re-size happened.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "dataset", "rows", "parts", "seed", "layout":
+				fatal(fmt.Errorf("-%s applies to dataset generation and has no effect with -in; re-layout the table before exporting", f.Name))
+			}
+		})
+		ot, err := store.OpenTableFile(*in, store.Options{})
 		if err != nil {
 			fatal(err)
 		}
-	}
-	t := ds.Table
-
-	fmt.Printf("dataset %s: %d rows, %d partitions, layout %v\n", ds.Name, t.NumRows(), t.NumParts(), ds.SortCols)
-	fmt.Printf("storage: %.1f MB (%.1f KB/partition)\n",
-		float64(t.TotalBytes())/(1<<20), float64(t.TotalBytes())/float64(t.NumParts())/1024)
-	fmt.Println("\nschema:")
-	for _, c := range t.Schema.Cols {
-		pos := ""
-		if c.Positive {
-			pos = " (positive)"
+		t, err = ot.Materialize()
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("  %-32s %s%s\n", c.Name, c.Kind, pos)
-	}
+		if err := ot.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s (%s format): %d rows, %d partitions, %.1f MB\n",
+			*in, ot.Format, t.NumRows(), t.NumParts(), float64(t.TotalBytes())/(1<<20))
+	} else {
+		ds, err := dataset.ByName(*name, dataset.Config{Rows: *rows, Parts: *parts, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if *layout != "" {
+			var cols []string
+			if *layout != "random" {
+				cols = strings.Split(*layout, ",")
+			}
+			ds, err = ds.WithLayout(cols)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		t = ds.Table
 
-	ts, err := stats.Build(t, stats.Options{GroupableCols: ds.Workload.GroupableCols})
-	if err != nil {
-		fatal(err)
+		fmt.Printf("dataset %s: %d rows, %d partitions, layout %v\n", ds.Name, t.NumRows(), t.NumParts(), ds.SortCols)
+		fmt.Printf("storage: %.1f MB (%.1f KB/partition)\n",
+			float64(t.TotalBytes())/(1<<20), float64(t.TotalBytes())/float64(t.NumParts())/1024)
+		fmt.Println("\nschema:")
+		for _, c := range t.Schema.Cols {
+			pos := ""
+			if c.Positive {
+				pos = " (positive)"
+			}
+			fmt.Printf("  %-32s %s%s\n", c.Name, c.Kind, pos)
+		}
+
+		ts, err := stats.Build(t, stats.Options{GroupableCols: ds.Workload.GroupableCols})
+		if err != nil {
+			fatal(err)
+		}
+		sz := ts.Sizes()
+		fmt.Printf("\nsummary statistics: %.1f KB/partition (hist %.1f, hh %.1f, akmv %.1f, measures %.1f)\n",
+			sz.Total/1024, sz.Histogram/1024, sz.HH/1024, sz.AKMV/1024, sz.Measure/1024)
+		fmt.Printf("feature dimension: %d\n", ts.Space.Dim())
+		fmt.Printf("workload: %d groupable, %d predicate, %d aggregate columns\n",
+			len(ds.Workload.GroupableCols), len(ds.Workload.PredicateCols), len(ds.Workload.AggCols))
 	}
-	sz := ts.Sizes()
-	fmt.Printf("\nsummary statistics: %.1f KB/partition (hist %.1f, hh %.1f, akmv %.1f, measures %.1f)\n",
-		sz.Total/1024, sz.Histogram/1024, sz.HH/1024, sz.AKMV/1024, sz.Measure/1024)
-	fmt.Printf("feature dimension: %d\n", ts.Space.Dim())
-	fmt.Printf("workload: %d groupable, %d predicate, %d aggregate columns\n",
-		len(ds.Workload.GroupableCols), len(ds.Workload.PredicateCols), len(ds.Workload.AggCols))
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
@@ -87,17 +126,26 @@ func main() {
 		fmt.Printf("wrote CSV to %s\n", *csvOut)
 	}
 	if *binOut != "" {
-		f, err := os.Create(*binOut)
+		if *gobOut {
+			f, err := os.Create(*binOut)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := t.WriteTo(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote legacy gob table to %s\n", *binOut)
+			return
+		}
+		n, err := store.WriteFile(*binOut, t)
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := t.WriteTo(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote binary table to %s\n", *binOut)
+		fmt.Printf("wrote paged store to %s (%.1f MB, %d partition blocks)\n",
+			*binOut, float64(n)/(1<<20), t.NumParts())
 	}
 }
 

@@ -3,14 +3,20 @@
 // offline pass was paid once by ps3train) and serves approximate queries
 // over HTTP/JSON:
 //
-//	ps3serve -table /tmp/aria.tbl -snapshot /tmp/aria.snap -addr :8080
+//	ps3serve -table /tmp/aria.ps3 -snapshot /tmp/aria.snap -addr :8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT TenantId, COUNT(*) FROM t GROUP BY TenantId","budget":0.05}'
 //	curl -s localhost:8080/stats
+//
+// When -table is in the paged store format (ps3gen's default output), the
+// data stays on disk: each request faults only the partitions the picker
+// selected through a cache bounded by -cachebytes, so memory and cold-start
+// cost scale with the cache budget, not the dataset. Legacy gob tables are
+// detected automatically and load fully resident.
 //
 // With -loadgen it instead benchmarks sustained concurrent throughput
 // against the in-process server, cycling over sampled workload queries:
 //
-//	ps3serve -table /tmp/aria.tbl -snapshot /tmp/aria.snap -loadgen -requests 2000 -concurrency 16
+//	ps3serve -table /tmp/aria.ps3 -snapshot /tmp/aria.snap -loadgen -requests 2000 -concurrency 16
 package main
 
 import (
@@ -23,17 +29,18 @@ import (
 	"ps3/internal/core"
 	"ps3/internal/query"
 	"ps3/internal/serve"
-	"ps3/internal/table"
+	"ps3/internal/store"
 )
 
 func main() {
 	var (
-		tblPath  = flag.String("table", "", "binary table file (written by ps3gen -out); required")
-		snapPath = flag.String("snapshot", "", "trained-system snapshot (written by ps3train -out); required")
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		budget   = flag.Float64("budget", 0.05, "default budget fraction for requests that omit one")
-		cache    = flag.Int("cache", 0, "compiled-query cache entries (0 = default 256)")
-		inflight = flag.Int("maxinflight", 0, "max concurrent partition scans (0 = 2×GOMAXPROCS)")
+		tblPath    = flag.String("table", "", "table data file (paged store or legacy gob, written by ps3gen -out); required")
+		snapPath   = flag.String("snapshot", "", "trained-system snapshot (written by ps3train -out); required")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		budget     = flag.Float64("budget", 0.05, "default budget fraction for requests that omit one")
+		cache      = flag.Int("cache", 0, "compiled-query cache entries (0 = default 256)")
+		cacheBytes = flag.Int64("cachebytes", 0, "partition cache budget in bytes for store-format tables (0 = default 256 MiB, negative = unbounded)")
+		inflight   = flag.Int("maxinflight", 0, "max concurrent partition scans (0 = 2×GOMAXPROCS)")
 
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of listening")
 		queries = flag.Int("queries", 20, "loadgen: distinct workload queries to cycle over")
@@ -47,22 +54,16 @@ func main() {
 	}
 
 	t0 := time.Now()
-	tf, err := os.Open(*tblPath)
+	ot, err := store.OpenTableFile(*tblPath, store.Options{CacheBytes: *cacheBytes})
 	if err != nil {
 		fatal(err)
 	}
-	tbl, err := table.ReadTable(tf)
-	if err != nil {
-		fatal(err)
-	}
-	if err := tf.Close(); err != nil {
-		fatal(err)
-	}
+	defer ot.Close()
 	sf, err := os.Open(*snapPath)
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := core.OpenSnapshot(sf, tbl)
+	sys, err := core.OpenSnapshot(sf, ot.Source)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,15 +74,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cold start in %v: %d rows, %d partitions, trained picker restored (no retraining)\n",
-		time.Since(t0).Round(time.Millisecond), tbl.NumRows(), tbl.NumParts())
+	mode := "fully resident (legacy gob)"
+	if ot.Reader != nil {
+		mode = fmt.Sprintf("paged, %s partition cache", budgetSize(ot.Reader.CacheStats().BudgetBytes))
+	}
+	fmt.Printf("cold start in %v: %d rows, %d partitions (%s of data), %s, trained picker restored\n",
+		time.Since(t0).Round(time.Millisecond), ot.Source.NumRows(), ot.Source.NumParts(),
+		byteSize(int64(ot.Source.TotalBytes())), mode)
 
 	if *loadgen {
-		gen, err := query.NewGenerator(sys.Opts.Workload, tbl, *seed)
+		gen, err := query.NewGenerator(sys.Opts.Workload, ot.Source, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		qs := gen.SampleN(*queries)
+		// Sampling predicate constants faulted partitions in through the
+		// cache; baseline the counters so the report covers serving only.
+		var base store.CacheStats
+		if ot.Reader != nil {
+			base = ot.Reader.CacheStats()
+		}
 		fmt.Printf("loadgen: %d requests over %d queries, %d workers, budget %.2f\n",
 			*reqs, len(qs), *conc, *budget)
 		rep, err := srv.LoadGen(qs, *budget, *conc, *reqs)
@@ -90,7 +102,12 @@ func main() {
 		}
 		fmt.Println(rep)
 		m := srv.Stats()
-		fmt.Printf("cache: %d hits / %d misses (%d entries)\n", m.CacheHits, m.CacheMisses, m.CacheLen)
+		fmt.Printf("query cache: %d hits / %d misses (%d entries)\n", m.CacheHits, m.CacheMisses, m.CacheLen)
+		if m.Store != nil {
+			fmt.Printf("partition cache: %d hits / %d misses / %d evictions, %s faulted in, %s resident (budget %s)\n",
+				m.Store.Hits-base.Hits, m.Store.Misses-base.Misses, m.Store.Evictions-base.Evictions,
+				byteSize(m.Store.LoadedBytes-base.LoadedBytes), byteSize(m.Store.ResidentBytes), budgetSize(m.Store.BudgetBytes))
+		}
 		return
 	}
 
@@ -98,6 +115,27 @@ func main() {
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
+}
+
+// byteSize renders a byte count for humans.
+func byteSize(n int64) string {
+	switch {
+	case n < 1<<20:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	}
+}
+
+// budgetSize is byteSize for cache budget positions, where 0 means the
+// cache is unbounded.
+func budgetSize(n int64) string {
+	if n <= 0 {
+		return "unbounded"
+	}
+	return byteSize(n)
 }
 
 func fatal(err error) {

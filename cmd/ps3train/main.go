@@ -17,7 +17,7 @@ import (
 	"ps3/internal/core"
 	"ps3/internal/dataset"
 	"ps3/internal/query"
-	"ps3/internal/table"
+	"ps3/internal/store"
 )
 
 func main() {
@@ -49,18 +49,22 @@ func main() {
 	}
 	tbl := ds.Table
 	if *tblPath != "" {
-		f, err := os.Open(*tblPath)
+		// Training is a repeated-full-scan workload, so either format is
+		// materialized into RAM: the paged store only pays off at serve
+		// time, when the picker reads a few partitions per query.
+		ot, err := store.OpenTableFile(*tblPath, store.Options{})
 		if err != nil {
 			fatal(err)
 		}
-		tbl, err = table.ReadTable(f)
+		tbl, err = ot.Materialize()
 		if err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
+		if err := ot.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("loaded table %s: %d rows, %d partitions\n", *tblPath, tbl.NumRows(), tbl.NumParts())
+		fmt.Printf("loaded table %s (%s format): %d rows, %d partitions\n",
+			*tblPath, ot.Format, tbl.NumRows(), tbl.NumParts())
 	}
 
 	sys, err := core.New(tbl, core.Options{Workload: ds.Workload, TrainLSS: *lss, Seed: *seed})

@@ -72,12 +72,14 @@ func (s *System) WriteTo(w io.Writer) (int64, error) {
 }
 
 // OpenSnapshot restores a System from a snapshot written with WriteTo and
-// binds it to t, the table the system was built on. The statistics store is
-// validated against the table (as in NewFromStats) and the picker against
-// the store's feature space, so a snapshot cannot silently open against the
-// wrong data. A snapshot of a trained system opens trained: no call to
-// Train is needed before Run.
-func OpenSnapshot(r io.Reader, t *table.Table) (*System, error) {
+// binds it to src, the partition source holding the data the system was
+// built on — a resident *table.Table, or a paged store reader for
+// out-of-core serving where only picked partitions are ever loaded. The
+// statistics store is validated against the source (as in NewFromStats) and
+// the picker against the store's feature space, so a snapshot cannot
+// silently open against the wrong data. A snapshot of a trained system
+// opens trained: no call to Train is needed before Run.
+func OpenSnapshot(r io.Reader, src table.PartitionSource) (*System, error) {
 	var wire systemWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
@@ -95,7 +97,7 @@ func OpenSnapshot(r io.Reader, t *table.Table) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := NewFromStats(t, ts, wire.Opts)
+	sys, err := NewFromStats(src, ts, wire.Opts)
 	if err != nil {
 		return nil, err
 	}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"ps3/internal/dataset"
 	"ps3/internal/query"
+	"ps3/internal/store"
 	"ps3/internal/table"
 )
 
@@ -82,6 +84,87 @@ func TestSnapshotRoundTripBitIdentical(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSnapshotStoreBacked opens a snapshot over a paged store reader: Run
+// must produce bit-identical answers to the resident restore, and the
+// training entry points must refuse (training is a full-scan workload that
+// belongs on materialized data).
+func TestSnapshotStoreBacked(t *testing.T) {
+	sys, _, test := buildSystem(t, 25)
+	var storeBuf, snapBuf bytes.Buffer
+	if _, err := store.Write(&storeBuf, sys.Table); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.WriteTo(&snapBuf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.NewReaderAt(bytes.NewReader(storeBuf.Bytes()), int64(storeBuf.Len()), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenSnapshot(&snapBuf, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Table != nil {
+		t.Fatal("store-backed restore must not claim a resident table")
+	}
+	for _, q := range test[:4] {
+		want, err := sys.Run(q, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Run(q, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Values) != len(got.Values) {
+			t.Fatalf("query %s: %d vs %d groups", q, len(want.Values), len(got.Values))
+		}
+		for g, wv := range want.Values {
+			gv, ok := got.Values[g]
+			if !ok {
+				t.Fatalf("query %s: group %q missing from store-backed run", q, want.Labels[g])
+			}
+			for j := range wv {
+				if wv[j] != gv[j] {
+					t.Fatalf("query %s group %q agg %d: %v vs %v", q, want.Labels[g], j, wv[j], gv[j])
+				}
+			}
+		}
+		exactWant, err := sys.RunExact(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactGot, err := back.RunExact(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, wv := range exactWant.Values {
+			gv := exactGot.Values[g]
+			for j := range wv {
+				if wv[j] != gv[j] {
+					t.Fatalf("query %s exact group %q agg %d: %v vs %v", q, exactWant.Labels[g], j, wv[j], gv[j])
+				}
+			}
+		}
+	}
+	// An exact scan reads around the partition cache: it must not evict
+	// (or populate) the approximate-serving working set.
+	before := r.CacheStats()
+	if _, err := back.RunExact(test[0]); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.CacheStats(); after != before {
+		t.Fatalf("RunExact disturbed the partition cache: %+v -> %+v", before, after)
+	}
+	if err := back.Train(test, nil); err == nil || !strings.Contains(err.Error(), "resident") {
+		t.Fatalf("Train on a paged system: err = %v, want resident-table error", err)
+	}
+	if _, err := back.MakeExample(test[0]); err == nil {
+		t.Fatal("MakeExample on a paged system should fail")
 	}
 }
 

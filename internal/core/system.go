@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -50,8 +51,22 @@ type Options struct {
 // execOpts converts the concurrency knob into engine options.
 func (o Options) execOpts() exec.Options { return exec.Options{Parallelism: o.Parallelism} }
 
-// System is a PS3 instance bound to one table and workload.
+// errNotResident is returned by training entry points on a store-backed
+// system: the offline pass scans every partition once per training query,
+// which through a bounded page cache would thrash — materialize the store
+// into a resident table first (store.Reader.Materialize).
+var errNotResident = errors.New("core: training requires a resident table, not a paged source; materialize the store first")
+
+// System is a PS3 instance bound to one partition source and workload.
 type System struct {
+	// Source is what query execution reads partitions from: a fully
+	// resident *table.Table, or a paged store.Reader that faults picked
+	// partitions in through a bounded cache.
+	Source table.PartitionSource
+	// Table is the resident table when the source is one, nil when the
+	// system is store-backed. Training (MakeExamples/Train) requires it:
+	// the offline pass repeatedly scans every partition, so it is run over
+	// materialized data, never through the page cache.
 	Table *table.Table
 	Stats *stats.TableStats
 	Opts  Options
@@ -73,26 +88,32 @@ func New(t *table.Table, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Table: t, Stats: ts, Opts: opts}, nil
+	return &System{Source: t, Table: t, Stats: ts, Opts: opts}, nil
 }
 
-// NewFromStats binds a System to a table using a pre-built statistics store
-// — typically one restored with stats.ReadStats, matching the paper's
-// deployment where sketches are computed at ingest and persisted separately
-// from the data. The store's schema must match the table's.
-func NewFromStats(t *table.Table, ts *stats.TableStats, opts Options) (*System, error) {
-	if len(ts.Parts) != t.NumParts() {
-		return nil, fmt.Errorf("core: stats cover %d partitions, table has %d", len(ts.Parts), t.NumParts())
+// NewFromStats binds a System to a partition source using a pre-built
+// statistics store — typically one restored with stats.ReadStats, matching
+// the paper's deployment where sketches are computed at ingest and persisted
+// separately from the data. The store's schema must match the source's. The
+// source may be a resident *table.Table or a paged store reader.
+func NewFromStats(src table.PartitionSource, ts *stats.TableStats, opts Options) (*System, error) {
+	schema := src.TableSchema()
+	if len(ts.Parts) != src.NumParts() {
+		return nil, fmt.Errorf("core: stats cover %d partitions, table has %d", len(ts.Parts), src.NumParts())
 	}
-	if got, want := len(ts.Schema.Cols), len(t.Schema.Cols); got != want {
+	if got, want := len(ts.Schema.Cols), len(schema.Cols); got != want {
 		return nil, fmt.Errorf("core: stats schema has %d columns, table has %d", got, want)
 	}
 	for i, c := range ts.Schema.Cols {
-		if t.Schema.Cols[i] != c {
-			return nil, fmt.Errorf("core: stats column %d is %+v, table has %+v", i, c, t.Schema.Cols[i])
+		if schema.Cols[i] != c {
+			return nil, fmt.Errorf("core: stats column %d is %+v, table has %+v", i, c, schema.Cols[i])
 		}
 	}
-	return &System{Table: t, Stats: ts, Opts: opts}, nil
+	s := &System{Source: src, Stats: ts, Opts: opts}
+	if t, ok := src.(*table.Table); ok {
+		s.Table = t
+	}
+	return s, nil
 }
 
 // MakeExamples prepares training/evaluation examples for a set of queries:
@@ -102,6 +123,9 @@ func NewFromStats(t *table.Table, ts *stats.TableStats, opts Options) (*System, 
 // run in parallel across queries — the dominant offline cost — with each
 // query's own scan kept sequential so the pool is not oversubscribed.
 func (s *System) MakeExamples(queries []*query.Query) ([]picker.Example, error) {
+	if s.Table == nil {
+		return nil, errNotResident
+	}
 	return exec.MapErr(len(queries), s.Opts.execOpts(), func(i int) (picker.Example, error) {
 		ex, err := s.makeExample(queries[i], exec.Options{Parallelism: 1})
 		if err != nil {
@@ -114,6 +138,9 @@ func (s *System) MakeExamples(queries []*query.Query) ([]picker.Example, error) 
 // MakeExample prepares one example, parallelizing its full scan across
 // partitions.
 func (s *System) MakeExample(q *query.Query) (picker.Example, error) {
+	if s.Table == nil {
+		return picker.Example{}, errNotResident
+	}
 	return s.makeExample(q, s.Opts.execOpts())
 }
 
@@ -138,10 +165,10 @@ func (s *System) makeExample(q *query.Query, eo exec.Options) (picker.Example, e
 	}, nil
 }
 
-// compile binds q to the system's table and threads the concurrency knob
+// compile binds q to the system's source and threads the concurrency knob
 // into the scan engine.
 func (s *System) compile(q *query.Query) (*query.Compiled, error) {
-	c, err := query.Compile(q, s.Table)
+	c, err := query.Compile(q, s.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +178,9 @@ func (s *System) compile(q *query.Query) (*query.Compiled, error) {
 
 // Train fits the picker (and optionally the LSS baseline) on the given
 // training queries. Pre-built examples may be passed to avoid recomputing
-// ground truth; pass nil to have Train build them.
+// ground truth; pass nil to have Train build them, which requires a
+// resident table (store-backed systems restore a trained snapshot or
+// materialize first).
 func (s *System) Train(queries []*query.Query, examples []picker.Example) error {
 	if examples == nil {
 		var err error
@@ -186,7 +215,7 @@ func (s *System) Pick(q *query.Query, budgetFrac float64) ([]query.WeightedParti
 		return nil, fmt.Errorf("core: system is not trained; call Train first")
 	}
 	features := s.Stats.Features(q)
-	n := budgetParts(budgetFrac, s.Table.NumParts())
+	n := budgetParts(budgetFrac, s.Source.NumParts())
 	return s.Picker.Pick(q, features, n, s.pickRNG(q)), nil
 }
 
@@ -233,13 +262,17 @@ func (s *System) Run(q *query.Query, budgetFrac float64) (*Result, error) {
 
 // RunCompiled is Run for a pre-compiled query. It is safe for concurrent
 // callers: picking derives a fresh per-request RNG, and evaluation state
-// lives in per-call (or pooled per-worker) buffers.
+// lives in per-call (or pooled per-worker) buffers. On a store-backed
+// system the picked partitions are faulted in through the page cache.
 func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, error) {
 	sel, err := s.Pick(c.Q, budgetFrac)
 	if err != nil {
 		return nil, err
 	}
-	ans := c.Estimate(s.Table, sel)
+	ans, err := c.Estimate(s.Source, sel)
+	if err != nil {
+		return nil, err
+	}
 	vals := c.FinalValues(ans)
 	labels := make(map[string]string, len(vals))
 	for g := range vals {
@@ -250,18 +283,34 @@ func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, er
 		Labels:    labels,
 		Selection: sel,
 		PartsRead: len(sel),
-		FracRead:  float64(len(sel)) / float64(s.Table.NumParts()),
+		FracRead:  float64(len(sel)) / float64(s.Source.NumParts()),
 	}, nil
 }
 
 // RunExact evaluates q exactly over every partition (the baseline a user
-// compares against).
+// compares against). On a resident table this is the uncharged offline
+// oracle scan; on a store-backed system every partition is read through the
+// source — an exact scan over paged data is real I/O. Both paths combine
+// per-partition answers in partition order, so the results are
+// bit-identical (weight-1 accumulation equals plain summation in IEEE-754).
 func (s *System) RunExact(q *query.Query) (*Result, error) {
 	c, err := s.compile(q)
 	if err != nil {
 		return nil, err
 	}
-	total, _ := c.GroundTruth(s.Table)
+	var total *query.Answer
+	if s.Table != nil {
+		total, _ = c.GroundTruth(s.Table)
+	} else {
+		all := make([]query.WeightedPartition, s.Source.NumParts())
+		for i := range all {
+			all[i] = query.WeightedPartition{Part: i, Weight: 1}
+		}
+		total, err = c.Estimate(exactScanSource(s.Source), all)
+		if err != nil {
+			return nil, err
+		}
+	}
 	vals := c.FinalValues(total)
 	labels := make(map[string]string, len(vals))
 	for g := range vals {
@@ -270,10 +319,36 @@ func (s *System) RunExact(q *query.Query) (*Result, error) {
 	return &Result{
 		Values:    vals,
 		Labels:    labels,
-		PartsRead: s.Table.NumParts(),
+		PartsRead: s.Source.NumParts(),
 		FracRead:  1,
 	}, nil
 }
+
+// uncachedReader is the optional capability a paged source offers for
+// full scans that must not disturb its partition cache (store.Reader's
+// ReadUncached).
+type uncachedReader interface {
+	ReadUncached(i int) (*table.Partition, error)
+}
+
+// exactScanSource routes an exact scan's reads around the source's
+// partition cache when the source supports it: one RunExact over a paged
+// store must not evict the approximate-serving working set. Sources
+// without the capability (resident tables) pass through unchanged.
+func exactScanSource(src table.PartitionSource) table.PartitionSource {
+	if u, ok := src.(uncachedReader); ok {
+		return &uncachedSource{PartitionSource: src, u: u}
+	}
+	return src
+}
+
+// uncachedSource is a PartitionSource whose Read bypasses the cache.
+type uncachedSource struct {
+	table.PartitionSource
+	u uncachedReader
+}
+
+func (s *uncachedSource) Read(i int) (*table.Partition, error) { return s.u.ReadUncached(i) }
 
 // budgetParts converts a fractional budget to a partition count (≥1).
 func budgetParts(frac float64, total int) int {

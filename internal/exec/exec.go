@@ -130,6 +130,22 @@ func MapErr[T any](n int, o Options, fn func(i int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// MapErrWith is MapErr with per-worker state (see ForEachWith): each worker
+// allocates one W and reuses it for every item it computes. Like MapErr, all
+// indices are attempted and the lowest-index error wins, matching what a
+// sequential loop would have reported.
+func MapErrWith[W, T any](n int, o Options, newW func() W, fn func(w W, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEachWith(n, o, newW, func(w W, i int) { out[i], errs[i] = fn(w, i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Reduce folds step over [0, n) with one accumulator per contiguous block of
 // indices and merges the block accumulators in ascending block order. Block
 // boundaries depend only on n and o.Workers(n) — never on scheduling — so

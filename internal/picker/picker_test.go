@@ -168,7 +168,10 @@ func TestPickerWeightsCoverFilteredPopulation(t *testing.T) {
 	}
 	features := env.ts.Features(q)
 	sel := env.p.Pick(q, features, 8, rand.New(rand.NewSource(6)))
-	est := c.Estimate(env.tbl, sel)
+	est, err := c.Estimate(env.tbl, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	vals := c.FinalValues(est)
 	var got float64
 	for _, v := range vals {
@@ -514,7 +517,10 @@ func TestEstimateFromPerPartMatchesDirectEval(t *testing.T) {
 	ex := env.exs[0]
 	sel := []query.WeightedPartition{{Part: 2, Weight: 3}, {Part: 7, Weight: 1.5}}
 	got := EstimateFromPerPart(ex.Compiled, ex.PerPart, sel)
-	direct := ex.Compiled.Estimate(env.tbl, sel)
+	direct, err := ex.Compiled.Estimate(env.tbl, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := ex.Compiled.FinalValues(direct)
 	if len(got) != len(want) {
 		t.Fatalf("group counts differ: %d vs %d", len(got), len(want))

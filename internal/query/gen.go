@@ -41,25 +41,30 @@ func (w Workload) withDefaults() Workload {
 	return w
 }
 
-// Generator samples random queries from a workload over a concrete table
+// Generator samples random queries from a workload over a concrete dataset
 // (constants are drawn from actual data values so predicates are
-// satisfiable with realistic selectivities).
+// satisfiable with realistic selectivities). Any PartitionSource works:
+// over a paged store the constant sampling reads random partitions through
+// the source's cache.
 type Generator struct {
-	w   Workload
-	t   *table.Table
-	rng *rand.Rand
+	w      Workload
+	src    table.PartitionSource
+	schema *table.Schema
+	dict   *table.Dict
+	rng    *rand.Rand
 }
 
-// NewGenerator validates the workload spec against the table schema.
-func NewGenerator(w Workload, t *table.Table, seed int64) (*Generator, error) {
+// NewGenerator validates the workload spec against the source's schema.
+func NewGenerator(w Workload, src table.PartitionSource, seed int64) (*Generator, error) {
 	w = w.withDefaults()
+	schema := src.TableSchema()
 	check := func(names []string, what string, wantNumeric bool) error {
 		for _, name := range names {
-			ci := t.Schema.ColIndex(name)
+			ci := schema.ColIndex(name)
 			if ci < 0 {
 				return fmt.Errorf("query: workload %s column %q not in schema", what, name)
 			}
-			if wantNumeric && !t.Schema.Col(ci).IsNumeric() {
+			if wantNumeric && !schema.Col(ci).IsNumeric() {
 				return fmt.Errorf("query: workload %s column %q must be numeric", what, name)
 			}
 		}
@@ -77,7 +82,7 @@ func NewGenerator(w Workload, t *table.Table, seed int64) (*Generator, error) {
 	if len(w.AggCols) == 0 {
 		return nil, fmt.Errorf("query: workload needs at least one aggregate column")
 	}
-	return &Generator{w: w, t: t, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Generator{w: w, src: src, schema: schema, dict: src.TableDict(), rng: rand.New(rand.NewSource(seed))}, nil
 }
 
 // Sample draws one random query.
@@ -216,8 +221,8 @@ func (g *Generator) sampleClause() Pred {
 
 // sampleClauseFor samples an operator and constant for the given column.
 func (g *Generator) sampleClauseFor(col string) Pred {
-	ci := g.t.Schema.ColIndex(col)
-	if g.t.Schema.Col(ci).IsNumeric() {
+	ci := g.schema.ColIndex(col)
+	if g.schema.Col(ci).IsNumeric() {
 		v := g.sampleNumeric(ci)
 		ops := []Op{OpLt, OpLe, OpGt, OpGe, OpGe, OpLe} // inequality-heavy
 		if g.rng.Float64() < 0.08 {
@@ -244,16 +249,38 @@ func (g *Generator) sampleClauseFor(col string) Pred {
 	return &Clause{Col: col, Op: OpEq, Strs: []string{g.sampleCategorical(ci)}}
 }
 
-// sampleNumeric returns the value of column ci at a uniformly random row.
+// sampleNumeric returns the value of column ci at a uniformly random row,
+// or 0 when no row can be read (empty source, failed partition read).
 func (g *Generator) sampleNumeric(ci int) float64 {
-	p := g.t.Parts[g.rng.Intn(len(g.t.Parts))]
+	p := g.samplePartition()
+	if p == nil {
+		return 0
+	}
 	return p.Num[ci][g.rng.Intn(p.Rows())]
 }
 
-// sampleCategorical returns the value of column ci at a random row.
+// sampleCategorical returns the value of column ci at a random row, or ""
+// when no row can be read.
 func (g *Generator) sampleCategorical(ci int) string {
-	p := g.t.Parts[g.rng.Intn(len(g.t.Parts))]
-	return g.t.Dict.Value(p.Cat[ci][g.rng.Intn(p.Rows())])
+	p := g.samplePartition()
+	if p == nil {
+		return ""
+	}
+	return g.dict.Value(p.Cat[ci][g.rng.Intn(p.Rows())])
+}
+
+// samplePartition reads a uniformly random non-empty partition, or nil when
+// the source is empty or the read fails.
+func (g *Generator) samplePartition() *table.Partition {
+	n := g.src.NumParts()
+	if n == 0 {
+		return nil
+	}
+	p, err := g.src.Read(g.rng.Intn(n))
+	if err != nil || p.Rows() == 0 {
+		return nil
+	}
+	return p
 }
 
 func (g *Generator) pick(names []string) string {

@@ -119,11 +119,17 @@ func TestEstimateParallelEquivalence(t *testing.T) {
 	for _, q := range equivalenceQueries() {
 		c := mustCompile(t, q, tbl)
 		c.Exec = exec.Options{Parallelism: 1}
-		want := c.Estimate(tbl, sel)
+		want, err := c.Estimate(tbl, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, par := range parallelismLevels() {
 			c.Exec = exec.Options{Parallelism: par}
 			tbl.ResetIO()
-			got := c.Estimate(tbl, sel)
+			got, err := c.Estimate(tbl, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
 			requireIdenticalAnswers(t, q.String(), want, got)
 			if parts, _ := tbl.IOStats(); parts != int64(len(sel)) {
 				t.Fatalf("par=%d: charged %d partition reads, want %d", par, parts, len(sel))

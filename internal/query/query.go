@@ -118,21 +118,24 @@ type Compiled struct {
 	Exec exec.Options
 }
 
-// Compile binds q against the table's schema and dictionary, validating all
-// column references.
-func Compile(q *Query, t *table.Table) (*Compiled, error) {
-	c := &Compiled{Q: q, schema: t.Schema, dict: t.Dict}
+// Compile binds q against the source's schema and dictionary, validating all
+// column references. Any PartitionSource works — a resident *table.Table or
+// a paged store reader — since compilation touches only metadata, never
+// partition data.
+func Compile(q *Query, src table.PartitionSource) (*Compiled, error) {
+	schema, dict := src.TableSchema(), src.TableDict()
+	c := &Compiled{Q: q, schema: schema, dict: dict}
 	var err error
-	c.pred, err = compilePred(q.Pred, t.Schema, t.Dict)
+	c.pred, err = compilePred(q.Pred, schema, dict)
 	if err != nil {
 		return nil, err
 	}
-	c.predSeed, c.predKern, err = compilePredSeed(q.Pred, t.Schema, t.Dict)
+	c.predSeed, c.predKern, err = compilePredSeed(q.Pred, schema, dict)
 	if err != nil {
 		return nil, err
 	}
 	for _, g := range q.GroupBy {
-		gi := t.Schema.ColIndex(g)
+		gi := schema.ColIndex(g)
 		if gi < 0 {
 			return nil, fmt.Errorf("query: unknown group-by column %q", g)
 		}
@@ -145,19 +148,19 @@ func Compile(q *Query, t *table.Table) (*Compiled, error) {
 	for _, a := range q.Aggs {
 		slot := aggSlot{kind: a.Kind, at: at}
 		if a.Kind != Count {
-			ek, err := a.Expr.compile(t.Schema)
+			ek, err := a.Expr.compile(schema)
 			if err != nil {
 				return nil, err
 			}
 			slot.expr = ek
 		}
 		if a.Filter != nil {
-			fn, err := compilePred(a.Filter, t.Schema, t.Dict)
+			fn, err := compilePred(a.Filter, schema, dict)
 			if err != nil {
 				return nil, err
 			}
 			slot.filter = fn
-			kern, err := compileKernel(a.Filter, t.Schema, t.Dict)
+			kern, err := compileKernel(a.Filter, schema, dict)
 			if err != nil {
 				return nil, err
 			}
@@ -579,19 +582,30 @@ func (c *Compiled) Selectivity(t *table.Table) float64 {
 }
 
 // Estimate evaluates the query on a weighted selection of partition ids,
-// reading each selected partition through the table's I/O accountant, and
+// reading each selected partition from src through its I/O accountant, and
 // returns the combined approximate answer. Selected partitions are scanned
 // in parallel; the weighted combine runs in selection order, keeping the
-// answer bit-identical to a sequential evaluation.
-func (c *Compiled) Estimate(t *table.Table, sel []WeightedPartition) *Answer {
-	parts := exec.MapWith(len(sel), c.Exec,
+// answer bit-identical to a sequential evaluation. With a paged source a
+// read can fail (disk error, corrupted block); the error reported matches
+// what a sequential loop would have hit first.
+func (c *Compiled) Estimate(src table.PartitionSource, sel []WeightedPartition) (*Answer, error) {
+	parts, err := exec.MapErrWith(len(sel), c.Exec,
 		func() *scratch { return &scratch{} },
-		func(sc *scratch, i int) *Answer { return c.evalPartition(t.Read(sel[i].Part), sc) })
+		func(sc *scratch, i int) (*Answer, error) {
+			p, err := src.Read(sel[i].Part)
+			if err != nil {
+				return nil, err
+			}
+			return c.evalPartition(p, sc), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	ans := c.NewAnswer()
 	for i, pa := range parts {
 		ans.AddWeighted(pa, sel[i].Weight)
 	}
-	return ans
+	return ans, nil
 }
 
 // WeightedPartition is one (partition, weight) choice in a sample (§2.4).

@@ -325,7 +325,10 @@ func TestEstimateChargesIO(t *testing.T) {
 	q := &Query{Aggs: []Aggregate{{Kind: Count}}}
 	c := mustCompile(t, q, tbl)
 	tbl.ResetIO()
-	ans := c.Estimate(tbl, []WeightedPartition{{Part: 0, Weight: 4}, {Part: 2, Weight: 4}})
+	ans, err := c.Estimate(tbl, []WeightedPartition{{Part: 0, Weight: 4}, {Part: 2, Weight: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	parts, _ := tbl.IOStats()
 	if parts != 2 {
 		t.Errorf("Estimate read %d partitions, want 2", parts)

@@ -36,6 +36,7 @@ import (
 	"ps3/internal/core"
 	"ps3/internal/query"
 	"ps3/internal/sql"
+	"ps3/internal/store"
 )
 
 // Config tunes the server; zero values take the defaults noted per field.
@@ -253,6 +254,10 @@ type Metrics struct {
 	InFlight     int64   `json:"in_flight"`
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
 	MaxLatencyMs float64 `json:"max_latency_ms"`
+	// Store carries the partition-cache counters when the system serves
+	// from a paged store (nil on fully-resident systems): physical loads,
+	// hits, evictions, and resident bytes vs budget.
+	Store *store.CacheStats `json:"store,omitempty"`
 }
 
 // Stats snapshots the counters. Averages are over successful requests.
@@ -270,6 +275,10 @@ func (s *Server) Stats() Metrics {
 		m.AvgLatencyMs = float64(s.latencyNs.Load()) / float64(ok) / float64(time.Millisecond)
 	}
 	m.MaxLatencyMs = float64(s.maxLatency.Load()) / float64(time.Millisecond)
+	if cs, ok := s.sys.Source.(interface{ CacheStats() store.CacheStats }); ok {
+		st := cs.CacheStats()
+		m.Store = &st
+	}
 	return m
 }
 

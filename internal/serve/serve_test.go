@@ -14,8 +14,13 @@ import (
 	"ps3/internal/core"
 	"ps3/internal/dataset"
 	"ps3/internal/query"
+	"ps3/internal/store"
 	"ps3/internal/table"
 )
+
+// fixtureConfig is the dataset every serving fixture builds from;
+// fixtureSizes derives cache budgets from the same config.
+var fixtureConfig = dataset.Config{Rows: 16000, Parts: 40, Seed: 1}
 
 // restoredSystem trains a small system, snapshots it together with its
 // table, and restores both from bytes — the serving deployment shape: the
@@ -23,7 +28,7 @@ import (
 // trained.
 func restoredSystem(t testing.TB, trainN int) (*core.System, []*query.Query) {
 	t.Helper()
-	ds, err := dataset.Aria(dataset.Config{Rows: 16000, Parts: 40, Seed: 1})
+	ds, err := dataset.Aria(fixtureConfig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +60,35 @@ func restoredSystem(t testing.TB, trainN int) (*core.System, []*query.Query) {
 		t.Fatal(err)
 	}
 	return restored, gen.SampleN(12)
+}
+
+// residentAndPagedSystems trains one system and restores its snapshot
+// twice: once over the resident table, once over the same data re-written
+// in the paged store format and opened with the given cache budget. The
+// pair is the equivalence fixture for out-of-core serving.
+func residentAndPagedSystems(t testing.TB, trainN int, cacheBytes int64) (resident, paged *core.System, r *store.Reader, queries []*query.Query) {
+	t.Helper()
+	sys, queries := restoredSystem(t, trainN)
+
+	var storeBuf, snapBuf bytes.Buffer
+	if _, err := store.Write(&storeBuf, sys.Table); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.WriteTo(&snapBuf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.NewReaderAt(bytes.NewReader(storeBuf.Bytes()), int64(storeBuf.Len()), store.Options{CacheBytes: cacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err = core.OpenSnapshot(&snapBuf, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.Table != nil {
+		t.Fatal("store-backed system must not hold a resident table")
+	}
+	return sys, paged, r, queries
 }
 
 func TestNewRequiresTrainedSystem(t *testing.T) {
@@ -255,7 +289,17 @@ func TestConcurrentServingMatchesSequentialBaseline(t *testing.T) {
 	const workers = 8
 	const rounds = 5
 	var wg sync.WaitGroup
+	// Sends must never block: a broad regression reports one error per
+	// mismatching group — far more than one per request — and a full
+	// channel would deadlock the workers before wg.Wait returns. Errors
+	// beyond the buffer are dropped; the survivors are plenty to fail on.
 	errs := make(chan error, workers*rounds*len(queries))
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -267,31 +311,31 @@ func TestConcurrentServingMatchesSequentialBaseline(t *testing.T) {
 					if (w+r+i)%2 == 0 {
 						resp, err := srv.Query(q, budget)
 						if err != nil {
-							errs <- err
+							report(err)
 							continue
 						}
 						if resp.PartsRead != want[i].parts {
-							errs <- fmt.Errorf("query %d: served %d parts, baseline %d", i, resp.PartsRead, want[i].parts)
+							report(fmt.Errorf("query %d: served %d parts, baseline %d", i, resp.PartsRead, want[i].parts))
 						}
 						for _, grp := range resp.Groups {
 							if !reflect.DeepEqual(want[i].values[grp.Label], grp.Values) {
-								errs <- fmt.Errorf("query %d group %q: served %v, baseline %v",
-									i, grp.Label, grp.Values, want[i].values[grp.Label])
+								report(fmt.Errorf("query %d group %q: served %v, baseline %v",
+									i, grp.Label, grp.Values, want[i].values[grp.Label]))
 							}
 						}
 					} else {
 						res, err := sys.Run(q, budget)
 						if err != nil {
-							errs <- err
+							report(err)
 							continue
 						}
 						if res.PartsRead != want[i].parts {
-							errs <- fmt.Errorf("query %d: direct %d parts, baseline %d", i, res.PartsRead, want[i].parts)
+							report(fmt.Errorf("query %d: direct %d parts, baseline %d", i, res.PartsRead, want[i].parts))
 						}
 						for g, v := range res.Values {
 							if !reflect.DeepEqual(want[i].values[res.Labels[g]], v) {
-								errs <- fmt.Errorf("query %d group %q: direct %v, baseline %v",
-									i, res.Labels[g], v, want[i].values[res.Labels[g]])
+								report(fmt.Errorf("query %d group %q: direct %v, baseline %v",
+									i, res.Labels[g], v, want[i].values[res.Labels[g]]))
 							}
 						}
 					}
@@ -310,6 +354,173 @@ func TestConcurrentServingMatchesSequentialBaseline(t *testing.T) {
 	}
 	if m.InFlight != 0 {
 		t.Fatalf("in-flight gauge did not drain: %d", m.InFlight)
+	}
+}
+
+// TestServePagedMatchesResident is the acceptance contract for out-of-core
+// serving: a store-backed server must answer bit-identically to the
+// fully-resident server for the same snapshot and seed — the partition
+// cache and block decode are invisible in the results.
+func TestServePagedMatchesResident(t *testing.T) {
+	resident, paged, r, queries := residentAndPagedSystems(t, 20, -1)
+	srvR, err := New(resident, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvP, err := New(paged, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err := srvR.Query(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := srvP.Query(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PartsRead != want.PartsRead || got.FracRead != want.FracRead {
+			t.Fatalf("query %s: paged read %d parts, resident %d", q, got.PartsRead, want.PartsRead)
+		}
+		if !reflect.DeepEqual(got.Groups, want.Groups) {
+			t.Fatalf("query %s:\npaged    %v\nresident %v", q, got.Groups, want.Groups)
+		}
+	}
+	if m := srvR.Stats(); m.Store != nil {
+		t.Fatal("resident server must not report store cache counters")
+	}
+	m := srvP.Stats()
+	if m.Store == nil {
+		t.Fatal("paged server must report store cache counters")
+	}
+	if m.Store.Misses == 0 || m.Store.LoadedBytes == 0 {
+		t.Fatalf("paged serving recorded no physical loads: %+v", *m.Store)
+	}
+	if got := r.CacheStats(); got.Misses != m.Store.Misses {
+		t.Fatalf("stats snapshot disagrees with reader: %+v vs %+v", m.Store, got)
+	}
+}
+
+// fixtureSizes reports the byte sizes of the restoredSystem dataset without
+// the cost of building and training a full system (both build from
+// fixtureConfig).
+func fixtureSizes(t testing.TB) (totalBytes, partSize int64) {
+	t.Helper()
+	ds, err := dataset.Aria(fixtureConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(ds.Table.TotalBytes()), int64(ds.Table.Parts[0].SizeBytes())
+}
+
+// TestServePagedBoundedCacheLoadsOnlyPicked asserts the memory-model flip:
+// with a cache budget far below TotalBytes, serving stays within budget and
+// the physical bytes faulted in are bounded by what the picker selected,
+// not by the dataset.
+func TestServePagedBoundedCacheLoadsOnlyPicked(t *testing.T) {
+	totalBytes, partSize := fixtureSizes(t)
+	budget := totalBytes / 8 // ~5 of 40 partitions
+	_, paged, r, queries := residentAndPagedSystems(t, 15, budget)
+	if int64(r.TotalBytes()) <= budget {
+		t.Fatalf("fixture defeats the test: budget %d covers the %d-byte dataset", budget, r.TotalBytes())
+	}
+	srv, err := New(paged, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logicalReads int64
+	for _, q := range queries {
+		resp, err := srv.Query(q, 0.05) // 2 of 40 partitions per request
+		if err != nil {
+			t.Fatal(err)
+		}
+		logicalReads += int64(resp.PartsRead)
+	}
+	parts, _ := r.IOStats()
+	if parts != logicalReads {
+		t.Fatalf("reader charged %d logical reads, responses say %d", parts, logicalReads)
+	}
+	st := r.CacheStats()
+	if st.ResidentBytes > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", st.ResidentBytes, budget)
+	}
+	if st.LoadedBytes > logicalReads*partSize {
+		t.Fatalf("loaded %d physical bytes for %d picked partition reads of ≤%d bytes each",
+			st.LoadedBytes, logicalReads, partSize)
+	}
+	if st.LoadedBytes >= int64(r.TotalBytes()) {
+		t.Fatalf("picked-set serving faulted in the whole dataset: %d of %d bytes",
+			st.LoadedBytes, r.TotalBytes())
+	}
+}
+
+// TestConcurrentPagedServingMatchesResidentBaseline is the out-of-core half
+// of the serving race contract: concurrent requests against a store-backed
+// server with a thrashing cache must reproduce the resident sequential
+// baseline bit for bit. Run under -race (make race-serve).
+func TestConcurrentPagedServingMatchesResidentBaseline(t *testing.T) {
+	_, partSize := fixtureSizes(t)
+	// Room for ~3 partitions: every scan evicts, exercising reload + single
+	// flight under contention.
+	resident, paged, _, queries := residentAndPagedSystems(t, 20, 3*partSize)
+	srv, err := New(paged, Config{MaxInFlight: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 0.15
+	want := make([]map[string][]float64, len(queries))
+	for i, q := range queries {
+		res, err := resident.Run(q, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make(map[string][]float64, len(res.Values))
+		for g, v := range res.Values {
+			vals[res.Labels[g]] = v
+		}
+		want[i] = vals
+	}
+	const workers = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	// Non-blocking sends, as in the resident concurrent test: errors
+	// beyond the buffer are dropped rather than deadlocking workers.
+	errs := make(chan error, workers*rounds*len(queries))
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, q := range queries {
+					resp, err := srv.Query(q, budget)
+					if err != nil {
+						report(err)
+						continue
+					}
+					for _, grp := range resp.Groups {
+						if !reflect.DeepEqual(want[i][grp.Label], grp.Values) {
+							report(fmt.Errorf("query %d group %q: paged %v, baseline %v",
+								i, grp.Label, grp.Values, want[i][grp.Label]))
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if m := srv.Stats(); m.Failures != 0 {
+		t.Fatalf("server recorded %d failures", m.Failures)
 	}
 }
 

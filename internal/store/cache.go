@@ -1,0 +1,143 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"ps3/internal/table"
+)
+
+// CacheStats is a point-in-time snapshot of the partition cache counters.
+type CacheStats struct {
+	// Hits counts reads served from resident partitions, including reads
+	// that coalesced onto another request's in-flight load (they waited,
+	// but cost no extra disk I/O).
+	Hits int64 `json:"hits"`
+	// Misses counts reads that went to disk.
+	Misses int64 `json:"misses"`
+	// Evictions counts partitions dropped to stay inside the byte budget.
+	Evictions int64 `json:"evictions"`
+	// LoadedBytes is the cumulative decoded bytes read from disk — the
+	// physical I/O spent, as opposed to the logical partition reads the
+	// Reader's IOStats accountant charges.
+	LoadedBytes int64 `json:"loaded_bytes"`
+	// ResidentBytes and ResidentParts describe what the cache holds now.
+	ResidentBytes int64 `json:"resident_bytes"`
+	ResidentParts int   `json:"resident_parts"`
+	// BudgetBytes is the configured budget (0 = unbounded).
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// partCache is a concurrency-safe, byte-budgeted LRU over decoded
+// partitions with single-flight loading: concurrent reads of one absent
+// partition trigger exactly one disk load, and the rest wait for it.
+type partCache struct {
+	budget int64 // <= 0 means unbounded
+
+	mu      sync.Mutex
+	entries map[int]*list.Element
+	recency *list.List // front = most recently used
+	pending map[int]*inflightLoad
+
+	resident    int64
+	hits        int64
+	misses      int64
+	evictions   int64
+	loadedBytes int64
+}
+
+// cacheEntry is one resident partition.
+type cacheEntry struct {
+	part int
+	p    *table.Partition
+	size int64
+}
+
+// inflightLoad tracks one in-progress disk load; waiters block on done.
+type inflightLoad struct {
+	done chan struct{}
+	p    *table.Partition
+	err  error
+}
+
+func newPartCache(budget int64) *partCache {
+	return &partCache{
+		budget:  budget,
+		entries: make(map[int]*list.Element),
+		recency: list.New(),
+		pending: make(map[int]*inflightLoad),
+	}
+}
+
+// get returns partition i, calling load to fetch it on a miss. load runs
+// outside the cache lock, so slow disk reads of different partitions
+// proceed in parallel. Load errors are returned to every waiter but never
+// cached: a transient read failure is retried on the next request.
+func (c *partCache) get(i int, load func() (*table.Partition, int64, error)) (*table.Partition, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[i]; ok {
+		c.recency.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*cacheEntry).p
+		c.mu.Unlock()
+		return p, nil
+	}
+	if fl, ok := c.pending[i]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.p, fl.err
+	}
+	c.misses++
+	fl := &inflightLoad{done: make(chan struct{})}
+	c.pending[i] = fl
+	c.mu.Unlock()
+
+	p, size, err := load()
+
+	c.mu.Lock()
+	delete(c.pending, i)
+	if err == nil {
+		c.loadedBytes += size
+		c.insertLocked(i, p, size)
+	}
+	c.mu.Unlock()
+	fl.p, fl.err = p, err
+	close(fl.done)
+	return p, err
+}
+
+// insertLocked admits a freshly loaded partition and evicts from the LRU
+// tail until the budget holds again. The newest entry is never evicted:
+// a single partition larger than the whole budget still gets served (and
+// stays resident until the next admission).
+func (c *partCache) insertLocked(i int, p *table.Partition, size int64) {
+	c.entries[i] = c.recency.PushFront(&cacheEntry{part: i, p: p, size: size})
+	c.resident += size
+	if c.budget <= 0 {
+		return
+	}
+	for c.resident > c.budget && c.recency.Len() > 1 {
+		last := c.recency.Back()
+		e := last.Value.(*cacheEntry)
+		c.recency.Remove(last)
+		delete(c.entries, e.part)
+		c.resident -= e.size
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *partCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		LoadedBytes:   c.loadedBytes,
+		ResidentBytes: c.resident,
+		ResidentParts: c.recency.Len(),
+		BudgetBytes:   c.budget,
+	}
+}

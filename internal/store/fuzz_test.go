@@ -1,0 +1,52 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"ps3/internal/table"
+)
+
+// FuzzOpenStore drives the footer/index decode path — the part of the
+// format that parses fully untrusted input — plus block reads on whatever
+// opens successfully. Any input may fail with an error; none may panic.
+func FuzzOpenStore(f *testing.F) {
+	valid := writeStore(f, buildTable(f, 90, 30))
+	f.Add(valid)
+	empty := &table.Table{
+		Schema: table.MustSchema(table.Column{Name: "x", Kind: table.Numeric}),
+		Dict:   table.NewDict(),
+	}
+	f.Add(writeStore(f, empty))
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(append(truncated, valid[len(valid)-trailerSize:]...))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-trailerSize-10] ^= 0x41
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReaderAt(bytes.NewReader(data), int64(len(data)), Options{CacheBytes: 1 << 20})
+		if err != nil {
+			return
+		}
+		_ = r.NumRows()
+		_ = r.TotalBytes()
+		n := r.NumParts()
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			p, err := r.Read(i)
+			if err != nil {
+				continue
+			}
+			for _, codes := range p.Cat {
+				if len(codes) > 0 {
+					_ = r.TableDict().Value(codes[0])
+				}
+			}
+		}
+	})
+}

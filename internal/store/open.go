@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ps3/internal/table"
+)
+
+// Format identifies a table data file's on-disk encoding.
+type Format string
+
+const (
+	// FormatStore is the paged block format this package writes.
+	FormatStore Format = "store"
+	// FormatGob is the legacy fully-resident gob encoding
+	// (table.Table.WriteTo), kept readable for old files.
+	FormatGob Format = "gob"
+)
+
+// OpenedTable is a table data file opened by OpenTableFile: one
+// PartitionSource regardless of which format was on disk, plus the
+// format-specific handle for callers that need it.
+type OpenedTable struct {
+	// Source serves the data: the Reader for a store file, the resident
+	// Table for a legacy gob file.
+	Source table.PartitionSource
+	// Reader is non-nil when the file is in the paged store format.
+	Reader *Reader
+	// Table is non-nil when the file was legacy gob and is fully resident.
+	Table *table.Table
+	// Format records which encoding was sniffed.
+	Format Format
+}
+
+// Close releases the underlying file handle of a paged open; resident
+// opens hold no handle.
+func (o *OpenedTable) Close() error {
+	if o.Reader != nil {
+		return o.Reader.Close()
+	}
+	return nil
+}
+
+// Materialize returns the data as a fully resident table regardless of
+// format — the bridge to offline workflows (training, relayout) that scan
+// everything repeatedly.
+func (o *OpenedTable) Materialize() (*table.Table, error) {
+	if o.Table != nil {
+		return o.Table, nil
+	}
+	return o.Reader.Materialize()
+}
+
+// OpenTableFile opens a table data file of either format, sniffing the
+// store header magic versus the legacy gob stream. It is the one open path
+// shared by ps3gen, ps3train and ps3serve: old files keep working, new
+// files open paged. opts applies only to the paged format.
+func OpenTableFile(path string, opts Options) (*OpenedTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [len(headerMagic)]byte
+	_, err = io.ReadFull(f, magic[:])
+	switch {
+	case err == io.EOF || err == io.ErrUnexpectedEOF:
+		// Shorter than the magic: not a store file; let the gob path
+		// produce its decode error.
+	case err != nil:
+		f.Close()
+		return nil, fmt.Errorf("store: sniff %s: %w", path, err)
+	}
+
+	if string(magic[:]) == headerMagic {
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		r, err := NewReaderAt(f, st.Size(), opts)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: open %s: %w", path, err)
+		}
+		r.closer = f
+		return &OpenedTable{Source: r, Reader: r, Format: FormatStore}, nil
+	}
+
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t, err := table.ReadTable(f)
+	closeErr := f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	return &OpenedTable{Source: t, Table: t, Format: FormatGob}, nil
+}

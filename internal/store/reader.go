@@ -1,0 +1,274 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"ps3/internal/exec"
+	"ps3/internal/table"
+)
+
+// DefaultCacheBytes is the partition cache budget when Options.CacheBytes
+// is zero: 256 MiB, small enough to matter on a laptop, large enough to
+// hold the working set of a typical picked-partition workload.
+const DefaultCacheBytes int64 = 256 << 20
+
+// Options configures a Reader.
+type Options struct {
+	// CacheBytes bounds the decoded partition bytes held resident by the
+	// cache. 0 means DefaultCacheBytes; negative means unbounded (the
+	// whole dataset may end up cached, which turns the reader into a
+	// lazily-populated resident table).
+	CacheBytes int64
+}
+
+func (o Options) budget() int64 {
+	switch {
+	case o.CacheBytes == 0:
+		return DefaultCacheBytes
+	case o.CacheBytes < 0:
+		return 0 // partCache treats <=0 as unbounded
+	default:
+		return o.CacheBytes
+	}
+}
+
+// Reader serves partitions from a store file on demand. It implements
+// table.PartitionSource: opening costs one footer read, and partition data
+// is fetched lazily through a byte-budgeted LRU cache, so memory tracks the
+// cache budget plus in-flight scans rather than the dataset. All methods
+// are safe for concurrent use.
+type Reader struct {
+	src    io.ReaderAt
+	closer io.Closer // set when the reader owns the underlying file
+
+	schema     *table.Schema
+	dict       *table.Dict
+	blocks     []blockWire
+	rows       int
+	totalBytes int64
+
+	cache *partCache
+
+	// Logical I/O accounting (see table.PartitionSource): every Read
+	// charges here, cache hit or not; the cache's own stats track the
+	// physical loads.
+	readCount atomic.Int64
+	readBytes atomic.Int64
+}
+
+// Open opens the store file at path. The returned Reader keeps the file
+// handle until Close.
+func Open(path string, o Options) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReaderAt(f, st.Size(), o)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReaderAt opens a store held in any random-access source of the given
+// size. The footer is read and validated eagerly — as untrusted input, like
+// every other decode path — so a corrupted index fails here; block data is
+// only validated when a partition is actually read.
+func NewReaderAt(src io.ReaderAt, size int64, o Options) (*Reader, error) {
+	if size < int64(headerSize+trailerSize) {
+		return nil, fmt.Errorf("store: file of %d bytes is too small to be a store", size)
+	}
+	var header [headerSize]byte
+	if _, err := src.ReadAt(header[:], 0); err != nil {
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	if string(header[:len(headerMagic)]) != headerMagic {
+		return nil, fmt.Errorf("store: not a store file (magic %q)", header[:len(headerMagic)])
+	}
+	if v := binary.LittleEndian.Uint32(header[len(headerMagic):]); v != formatVersion {
+		return nil, fmt.Errorf("store: format version %d, this build reads %d", v, formatVersion)
+	}
+
+	var trailer [trailerSize]byte
+	if _, err := src.ReadAt(trailer[:], size-int64(trailerSize)); err != nil {
+		return nil, fmt.Errorf("store: read trailer: %w", err)
+	}
+	if string(trailer[12:]) != trailerMagic {
+		return nil, fmt.Errorf("store: truncated or corrupt file (trailer magic %q)", trailer[12:])
+	}
+	footerLen := binary.LittleEndian.Uint64(trailer[:8])
+	maxFooter := uint64(size) - uint64(headerSize) - uint64(trailerSize)
+	if footerLen > maxFooter {
+		return nil, fmt.Errorf("store: corrupt file: footer length %d exceeds the %d bytes between header and trailer", footerLen, maxFooter)
+	}
+	footerStart := size - int64(trailerSize) - int64(footerLen)
+	fbuf := make([]byte, footerLen)
+	if _, err := src.ReadAt(fbuf, footerStart); err != nil {
+		return nil, fmt.Errorf("store: read footer: %w", err)
+	}
+	if got, want := crc32.Checksum(fbuf, crcTable), binary.LittleEndian.Uint32(trailer[8:12]); got != want {
+		return nil, fmt.Errorf("store: corrupt file: footer checksum %08x, want %08x", got, want)
+	}
+	var footer footerWire
+	if err := gob.NewDecoder(bytes.NewReader(fbuf)).Decode(&footer); err != nil {
+		return nil, fmt.Errorf("store: decode footer: %w", err)
+	}
+
+	if len(footer.Cols) == 0 {
+		return nil, fmt.Errorf("store: corrupt file: footer has no columns")
+	}
+	schema, err := table.NewSchema(footer.Cols...)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := table.DictFromValues(footer.DictVals)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Reader{
+		src:    src,
+		schema: schema,
+		dict:   dict,
+		blocks: footer.Blocks,
+		cache:  newPartCache(o.budget()),
+	}
+	// perRow is hoisted out of the loop: a corrupt footer can declare
+	// thousands of columns and thousands of blocks, and re-walking the
+	// schema per block would make open quadratic in the footer size.
+	perRow := bytesPerRow(schema)
+	for i, b := range footer.Blocks {
+		if b.Rows < 0 || b.Rows > math.MaxInt32 {
+			return nil, fmt.Errorf("store: corrupt file: partition %d has row count %d", i, b.Rows)
+		}
+		if want := perRow * b.Rows; b.Length != want {
+			return nil, fmt.Errorf("store: corrupt file: partition %d block is %d bytes, %d rows require %d",
+				i, b.Length, b.Rows, want)
+		}
+		if b.Offset < int64(headerSize) || b.Offset > footerStart || footerStart-b.Offset < b.Length {
+			return nil, fmt.Errorf("store: corrupt file: partition %d block [%d, %d+%d) falls outside the data section [%d, %d)",
+				i, b.Offset, b.Offset, b.Length, headerSize, footerStart)
+		}
+		r.rows += int(b.Rows)
+		r.totalBytes += b.Length
+	}
+	return r, nil
+}
+
+// Close releases the underlying file when the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// TableSchema returns the schema decoded from the footer.
+func (r *Reader) TableSchema() *table.Schema { return r.schema }
+
+// TableDict returns the dictionary decoded from the footer.
+func (r *Reader) TableDict() *table.Dict { return r.dict }
+
+// NumParts returns the number of partitions in the store.
+func (r *Reader) NumParts() int { return len(r.blocks) }
+
+// NumRows returns the total row count across partitions, from the footer
+// index alone.
+func (r *Reader) NumRows() int { return r.rows }
+
+// TotalBytes returns the decoded footprint of the full dataset. Cell
+// encodings are fixed-width, so this equals the resident table's
+// TotalBytes.
+func (r *Reader) TotalBytes() int { return int(r.totalBytes) }
+
+// Read returns partition i, charging one logical partition read to the I/O
+// accountant and faulting the block in through the cache if it is not
+// resident. Concurrent reads of one absent partition share a single disk
+// load.
+func (r *Reader) Read(i int) (*table.Partition, error) {
+	if i < 0 || i >= len(r.blocks) {
+		return nil, fmt.Errorf("store: partition %d out of range [0, %d)", i, len(r.blocks))
+	}
+	r.readCount.Add(1)
+	r.readBytes.Add(r.blocks[i].Length)
+	return r.cache.get(i, func() (*table.Partition, int64, error) {
+		p, err := r.loadBlock(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, int64(p.SizeBytes()), nil
+	})
+}
+
+// ReadUncached returns partition i without touching the partition cache,
+// still charging the logical I/O accountant. Full-scan paths (core's
+// RunExact) read through it so that one exact scan cannot evict the
+// approximate-serving working set — the same reason Materialize bypasses
+// the cache.
+func (r *Reader) ReadUncached(i int) (*table.Partition, error) {
+	if i < 0 || i >= len(r.blocks) {
+		return nil, fmt.Errorf("store: partition %d out of range [0, %d)", i, len(r.blocks))
+	}
+	r.readCount.Add(1)
+	r.readBytes.Add(r.blocks[i].Length)
+	return r.loadBlock(i)
+}
+
+// loadBlock reads, checksums and decodes partition i from disk, bypassing
+// the cache.
+func (r *Reader) loadBlock(i int) (*table.Partition, error) {
+	b := r.blocks[i]
+	data := make([]byte, b.Length)
+	if _, err := r.src.ReadAt(data, b.Offset); err != nil {
+		return nil, fmt.Errorf("store: read partition %d: %w", i, err)
+	}
+	if got := crc32.Checksum(data, crcTable); got != b.CRC {
+		return nil, fmt.Errorf("store: partition %d failed checksum: block CRC %08x, footer says %08x", i, got, b.CRC)
+	}
+	return decodeBlock(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows))
+}
+
+// ResetIO clears the logical I/O counters.
+func (r *Reader) ResetIO() {
+	r.readCount.Store(0)
+	r.readBytes.Store(0)
+}
+
+// IOStats reports logical partition reads since the last ResetIO — what
+// the query plan asked for, whether or not the cache absorbed it.
+func (r *Reader) IOStats() (parts int64, bytes int64) {
+	return r.readCount.Load(), r.readBytes.Load()
+}
+
+// CacheStats snapshots the partition cache counters: physical loads,
+// hits, evictions and resident bytes.
+func (r *Reader) CacheStats() CacheStats { return r.cache.stats() }
+
+// Materialize loads every partition into a fully resident *table.Table
+// sharing the reader's schema and dictionary. It bypasses the cache — a
+// full materialization must not evict a serving working set — and is the
+// bridge for workflows that need resident data, like training. Blocks are
+// independent, so they load and decode in parallel (ReadAt is
+// concurrency-safe); the partition list stays in index order.
+func (r *Reader) Materialize() (*table.Table, error) {
+	parts, err := exec.MapErr(len(r.blocks), exec.Options{}, r.loadBlock)
+	if err != nil {
+		return nil, err
+	}
+	return &table.Table{Schema: r.schema, Dict: r.dict, Parts: parts}, nil
+}

@@ -1,0 +1,539 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ps3/internal/query"
+	"ps3/internal/table"
+)
+
+// buildTable returns a deterministic fixture with one numeric, one
+// categorical and one date column.
+func buildTable(t testing.TB, rows, rowsPerPart int) *table.Table {
+	t.Helper()
+	s := table.MustSchema(
+		table.Column{Name: "x", Kind: table.Numeric},
+		table.Column{Name: "cat", Kind: table.Categorical},
+		table.Column{Name: "d", Kind: table.Date},
+	)
+	b, err := table.NewBuilder(s, rowsPerPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		num := []float64{float64(i) * 1.5, 0, float64(i % 11)}
+		cat := []string{"", fmt.Sprintf("c%d", i%7), ""}
+		if err := b.Append(num, cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Finish()
+}
+
+// writeStore serializes tbl and returns the raw store bytes.
+func writeStore(t testing.TB, tbl *table.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Write(&buf, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Write reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// openStore opens store bytes with the given cache budget.
+func openStore(t testing.TB, data []byte, cacheBytes int64) *Reader {
+	t.Helper()
+	r, err := NewReaderAt(bytes.NewReader(data), int64(len(data)), Options{CacheBytes: cacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// requireSamePartition asserts bit-identical column data.
+func requireSamePartition(t *testing.T, want, got *table.Partition, pi int) {
+	t.Helper()
+	if want.Rows() != got.Rows() {
+		t.Fatalf("partition %d: %d rows, want %d", pi, got.Rows(), want.Rows())
+	}
+	for c := range want.Num {
+		if len(want.Num[c]) != len(got.Num[c]) || len(want.Cat[c]) != len(got.Cat[c]) {
+			t.Fatalf("partition %d column %d: slice shapes differ", pi, c)
+		}
+		for r, v := range want.Num[c] {
+			if got.Num[c][r] != v {
+				t.Fatalf("partition %d column %d row %d: %v, want %v", pi, c, r, got.Num[c][r], v)
+			}
+		}
+		for r, v := range want.Cat[c] {
+			if got.Cat[c][r] != v {
+				t.Fatalf("partition %d column %d row %d: code %d, want %d", pi, c, r, got.Cat[c][r], v)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tbl := buildTable(t, 530, 60) // 8 full partitions + 1 partial
+	r := openStore(t, writeStore(t, tbl), -1)
+	if r.NumParts() != tbl.NumParts() || r.NumRows() != tbl.NumRows() {
+		t.Fatalf("reader sees %d parts / %d rows, want %d / %d",
+			r.NumParts(), r.NumRows(), tbl.NumParts(), tbl.NumRows())
+	}
+	if r.TotalBytes() != tbl.TotalBytes() {
+		t.Fatalf("TotalBytes = %d, want %d", r.TotalBytes(), tbl.TotalBytes())
+	}
+	if r.TableDict().Len() != tbl.Dict.Len() {
+		t.Fatalf("dictionary has %d values, want %d", r.TableDict().Len(), tbl.Dict.Len())
+	}
+	for pi := range tbl.Parts {
+		got, err := r.Read(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != pi {
+			t.Fatalf("partition %d decoded with ID %d", pi, got.ID)
+		}
+		requireSamePartition(t, tbl.Parts[pi], got, pi)
+	}
+}
+
+func TestRoundTripEmptyTable(t *testing.T) {
+	empty := &table.Table{
+		Schema: table.MustSchema(table.Column{Name: "x", Kind: table.Numeric}),
+		Dict:   table.NewDict(),
+	}
+	r := openStore(t, writeStore(t, empty), 0)
+	if r.NumParts() != 0 || r.NumRows() != 0 || r.TotalBytes() != 0 {
+		t.Fatalf("empty store: %d parts / %d rows / %d bytes", r.NumParts(), r.NumRows(), r.TotalBytes())
+	}
+	if _, err := r.Read(0); err == nil {
+		t.Fatal("Read(0) on empty store should fail")
+	}
+}
+
+func TestMaterializeEqualsOriginal(t *testing.T) {
+	tbl := buildTable(t, 200, 30)
+	r := openStore(t, writeStore(t, tbl), 1) // 1-byte budget: materialize must bypass the cache
+	got, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParts() != tbl.NumParts() || got.NumRows() != tbl.NumRows() {
+		t.Fatalf("materialized %d parts / %d rows, want %d / %d",
+			got.NumParts(), got.NumRows(), tbl.NumParts(), tbl.NumRows())
+	}
+	for pi := range tbl.Parts {
+		requireSamePartition(t, tbl.Parts[pi], got.Parts[pi], pi)
+	}
+	if st := r.CacheStats(); st.Misses != 0 || st.ResidentParts != 0 {
+		t.Fatalf("Materialize touched the cache: %+v", st)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	r := openStore(t, writeStore(t, buildTable(t, 60, 20)), 0)
+	if _, err := r.Read(-1); err == nil {
+		t.Error("Read(-1) should fail")
+	}
+	if _, err := r.Read(r.NumParts()); err == nil {
+		t.Error("Read past the end should fail")
+	}
+}
+
+func TestIOAccountingIsLogical(t *testing.T) {
+	tbl := buildTable(t, 300, 100)
+	r := openStore(t, writeStore(t, tbl), -1)
+	for _, pi := range []int{0, 1, 0, 0} { // 2 physical loads, 4 logical reads
+		if _, err := r.Read(pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts, bytesRead := r.IOStats()
+	if parts != 4 {
+		t.Errorf("logical reads = %d, want 4", parts)
+	}
+	want := int64(3*tbl.Parts[0].SizeBytes() + tbl.Parts[1].SizeBytes())
+	if bytesRead != want {
+		t.Errorf("logical bytes = %d, want %d", bytesRead, want)
+	}
+	st := r.CacheStats()
+	if st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("cache saw %d misses / %d hits, want 2 / 2", st.Misses, st.Hits)
+	}
+	if st.LoadedBytes != int64(tbl.Parts[0].SizeBytes()+tbl.Parts[1].SizeBytes()) {
+		t.Errorf("physical bytes = %d", st.LoadedBytes)
+	}
+	r.ResetIO()
+	if p, b := r.IOStats(); p != 0 || b != 0 {
+		t.Error("ResetIO did not clear counters")
+	}
+}
+
+func TestCacheEvictsToBudget(t *testing.T) {
+	tbl := buildTable(t, 400, 100) // 4 partitions × 2000 bytes
+	partSize := int64(tbl.Parts[0].SizeBytes())
+	budget := 2*partSize + partSize/2 // room for two partitions
+	r := openStore(t, writeStore(t, tbl), budget)
+	for pi := 0; pi < 4; pi++ {
+		if _, err := r.Read(pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.CacheStats()
+	if st.Misses != 4 {
+		t.Errorf("misses = %d, want 4", st.Misses)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.ResidentBytes > budget {
+		t.Errorf("resident %d bytes exceeds budget %d", st.ResidentBytes, budget)
+	}
+	if st.ResidentParts != 2 {
+		t.Errorf("resident parts = %d, want 2", st.ResidentParts)
+	}
+	// LRU order: 2 and 3 are resident, 0 and 1 were evicted.
+	if _, err := r.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheStats(); got.Hits != 1 {
+		t.Errorf("re-reading a resident partition: hits = %d, want 1", got.Hits)
+	}
+	if _, err := r.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheStats(); got.Misses != 5 {
+		t.Errorf("re-reading an evicted partition: misses = %d, want 5", got.Misses)
+	}
+}
+
+func TestCacheServesPartitionLargerThanBudget(t *testing.T) {
+	tbl := buildTable(t, 100, 100)
+	r := openStore(t, writeStore(t, tbl), 10) // far below one partition
+	p, err := r.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows() != 100 {
+		t.Fatalf("rows = %d, want 100", p.Rows())
+	}
+	if st := r.CacheStats(); st.ResidentParts != 1 {
+		t.Fatalf("oversized partition must stay resident until the next admission: %+v", st)
+	}
+}
+
+func TestSingleFlightLoads(t *testing.T) {
+	tbl := buildTable(t, 500, 500)
+	r := openStore(t, writeStore(t, tbl), -1)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	parts := make([]*table.Partition, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := r.Read(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			parts[g] = p
+		}(g)
+	}
+	wg.Wait()
+	st := r.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("%d concurrent reads of one partition caused %d loads, want 1", goroutines, st.Misses)
+	}
+	if st.LoadedBytes != int64(tbl.Parts[0].SizeBytes()) {
+		t.Errorf("physical bytes = %d, want one block", st.LoadedBytes)
+	}
+	for g := 1; g < goroutines; g++ {
+		if parts[g] != parts[0] {
+			t.Fatal("concurrent readers got distinct partition copies")
+		}
+	}
+}
+
+func TestConcurrentReadsUnderTinyBudget(t *testing.T) {
+	tbl := buildTable(t, 600, 50) // 12 partitions
+	partSize := int64(tbl.Parts[0].SizeBytes())
+	r := openStore(t, writeStore(t, tbl), partSize+1) // thrash: one partition fits
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 50; n++ {
+				pi := rng.Intn(tbl.NumParts())
+				p, err := r.Read(pi)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Num[0][0] != tbl.Parts[pi].Num[0][0] {
+					t.Errorf("partition %d decoded wrong data under eviction pressure", pi)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if st := r.CacheStats(); st.ResidentBytes > partSize+1 {
+		t.Errorf("resident %d bytes exceeds budget %d", st.ResidentBytes, partSize+1)
+	}
+}
+
+// rebuildFooter re-encodes a mutated footer into valid store bytes, with a
+// correct trailer, so corruption tests exercise exactly one invariant.
+func rebuildFooter(t *testing.T, data []byte, mutate func(*footerWire)) []byte {
+	t.Helper()
+	size := int64(len(data))
+	footerLen := binary.LittleEndian.Uint64(data[size-int64(trailerSize):])
+	footerStart := size - int64(trailerSize) - int64(footerLen)
+	var footer footerWire
+	if err := gob.NewDecoder(bytes.NewReader(data[footerStart : size-int64(trailerSize)])).Decode(&footer); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&footer)
+	var fbuf bytes.Buffer
+	if err := gob.NewEncoder(&fbuf).Encode(&footer); err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), data[:footerStart]...)
+	out = append(out, fbuf.Bytes()...)
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(fbuf.Len()))
+	binary.LittleEndian.PutUint32(trailer[8:12], crc32.Checksum(fbuf.Bytes(), crcTable))
+	copy(trailer[12:], trailerMagic)
+	return append(out, trailer[:]...)
+}
+
+func TestOpenRejectsCorruptFooter(t *testing.T) {
+	valid := writeStore(t, buildTable(t, 140, 40))
+	cases := []struct {
+		name   string
+		mutate func(*footerWire)
+		msg    string
+	}{
+		{"no columns", func(f *footerWire) { f.Cols = nil }, "no columns"},
+		{"duplicate column names", func(f *footerWire) { f.Cols[1].Name = f.Cols[0].Name }, "duplicate"},
+		{"duplicate dictionary values", func(f *footerWire) { f.DictVals[1] = f.DictVals[0] }, "distinct values"},
+		{"negative rows", func(f *footerWire) { f.Blocks[0].Rows = -4 }, "row count"},
+		{"absurd rows", func(f *footerWire) { f.Blocks[0].Rows = 1 << 40 }, "row count"},
+		{"length does not match rows", func(f *footerWire) { f.Blocks[1].Rows++ }, "require"},
+		{"offset before data section", func(f *footerWire) {
+			f.Blocks[0].Offset = 2
+		}, "outside the data section"},
+		{"block overlaps footer", func(f *footerWire) {
+			f.Blocks[2].Offset += 1 << 30
+		}, "outside the data section"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := rebuildFooter(t, valid, c.mutate)
+			_, err := NewReaderAt(bytes.NewReader(data), int64(len(data)), Options{})
+			if err == nil {
+				t.Fatal("want error for corrupt footer")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsStructuralCorruption(t *testing.T) {
+	valid := writeStore(t, buildTable(t, 80, 40))
+	run := func(name string, data []byte, msg string) {
+		t.Run(name, func(t *testing.T) {
+			_, err := NewReaderAt(bytes.NewReader(data), int64(len(data)), Options{})
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), msg) {
+				t.Fatalf("error %q does not mention %q", err, msg)
+			}
+		})
+	}
+	tiny := []byte("short")
+	run("too small", tiny, "too small")
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	run("bad header magic", badMagic, "not a store file")
+
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[len(headerMagic):], 99)
+	run("bad version", badVersion, "version")
+
+	truncated := append([]byte(nil), valid[:len(valid)-3]...)
+	run("truncated trailer", truncated, "trailer")
+
+	badFooterLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(badFooterLen[len(badFooterLen)-trailerSize:], 1<<40)
+	run("footer length past file", badFooterLen, "footer length")
+
+	badFooterCRC := append([]byte(nil), valid...)
+	badFooterCRC[len(badFooterCRC)-trailerSize-1] ^= 0xff
+	run("footer checksum", badFooterCRC, "checksum")
+}
+
+func TestBlockCorruptionFailsOnRead(t *testing.T) {
+	tbl := buildTable(t, 120, 40)
+	data := writeStore(t, tbl)
+	// Flip one byte inside partition 1's block: open must still succeed
+	// (the footer is intact) and only Read(1) fails its CRC.
+	data[headerSize+tbl.Parts[0].SizeBytes()+5] ^= 0xff
+	r := openStore(t, data, 0)
+	if _, err := r.Read(0); err != nil {
+		t.Fatalf("intact partition: %v", err)
+	}
+	_, err := r.Read(1)
+	if err == nil {
+		t.Fatal("corrupted block must fail checksum")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("error %q does not mention checksum", err)
+	}
+	if _, err := r.Read(2); err != nil {
+		t.Fatalf("partition after the corrupt one: %v", err)
+	}
+}
+
+func TestOpenTableFileSniffsFormats(t *testing.T) {
+	tbl := buildTable(t, 90, 30)
+	dir := t.TempDir()
+
+	storePath := filepath.Join(dir, "data.ps3")
+	if _, err := WriteFile(storePath, tbl); err != nil {
+		t.Fatal(err)
+	}
+	gobPath := filepath.Join(dir, "data.gob")
+	gf, err := os.Create(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.WriteTo(gf); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		path string
+		want Format
+	}{{storePath, FormatStore}, {gobPath, FormatGob}} {
+		ot, err := OpenTableFile(tc.path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ot.Format != tc.want {
+			t.Fatalf("%s sniffed as %q, want %q", tc.path, ot.Format, tc.want)
+		}
+		if ot.Source.NumRows() != tbl.NumRows() || ot.Source.NumParts() != tbl.NumParts() {
+			t.Fatalf("%s: %d rows / %d parts", tc.path, ot.Source.NumRows(), ot.Source.NumParts())
+		}
+		mat, err := ot.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range tbl.Parts {
+			requireSamePartition(t, tbl.Parts[pi], mat.Parts[pi], pi)
+		}
+		if err := ot.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	garbage := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(garbage, []byte("definitely not a table"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTableFile(garbage, Options{}); err == nil {
+		t.Fatal("garbage file should not open")
+	}
+	if _, err := OpenTableFile(filepath.Join(dir, "missing"), Options{}); err == nil {
+		t.Fatal("missing file should not open")
+	}
+}
+
+// TestQueryEquivalenceStoreVsResident is the subsystem-level half of the
+// acceptance contract: the same compiled query over the same weighted
+// selection must produce bit-identical answers whether partitions come from
+// RAM or are faulted in through a thrashing page cache.
+func TestQueryEquivalenceStoreVsResident(t *testing.T) {
+	tbl := buildTable(t, 700, 50) // 14 partitions
+	partSize := int64(tbl.Parts[0].SizeBytes())
+	r := openStore(t, writeStore(t, tbl), 3*partSize) // forces eviction mid-scan
+	q := &query.Query{
+		Aggs: []query.Aggregate{
+			{Kind: query.Sum, Expr: query.Col("x")},
+			{Kind: query.Count},
+			{Kind: query.Avg, Expr: query.Col("d")},
+		},
+		Pred:    &query.Clause{Col: "x", Op: query.OpGt, Num: 100},
+		GroupBy: []string{"cat"},
+	}
+	cr, err := query.Compile(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := query.Compile(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := []query.WeightedPartition{
+		{Part: 0, Weight: 2.5}, {Part: 3, Weight: 1.25}, {Part: 7, Weight: 3},
+		{Part: 8, Weight: 0.5}, {Part: 13, Weight: 7},
+	}
+	want, err := cr.Estimate(tbl, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.Estimate(r, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Groups) == 0 || len(want.Groups) != len(got.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(want.Groups), len(got.Groups))
+	}
+	for g, wv := range want.Groups {
+		gv, ok := got.Groups[g]
+		if !ok {
+			t.Fatalf("store-backed answer is missing group %q", cr.GroupLabel(g))
+		}
+		for i := range wv {
+			if wv[i] != gv[i] {
+				t.Fatalf("group %q accumulator %d: %v vs %v", cr.GroupLabel(g), i, wv[i], gv[i])
+			}
+		}
+	}
+	parts, bytesRead := r.IOStats()
+	if parts != int64(len(sel)) {
+		t.Errorf("store charged %d logical reads, want %d", parts, len(sel))
+	}
+	if bytesRead <= 0 {
+		t.Error("no logical bytes charged")
+	}
+	if st := r.CacheStats(); st.LoadedBytes > int64(len(sel))*partSize {
+		t.Errorf("loaded %d physical bytes for %d picked partitions", st.LoadedBytes, len(sel))
+	}
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"ps3/internal/table"
+)
+
+// Write streams t to w in the paged store format and returns the number of
+// bytes written. The stream is written strictly forward — header, one block
+// per partition, footer, trailer — so w needs no seeking.
+func Write(w io.Writer, t *table.Table) (int64, error) {
+	cw := &countingWriter{w: w}
+
+	var header [headerSize]byte
+	copy(header[:], headerMagic)
+	binary.LittleEndian.PutUint32(header[len(headerMagic):], formatVersion)
+	if _, err := cw.Write(header[:]); err != nil {
+		return cw.n, fmt.Errorf("store: write header: %w", err)
+	}
+
+	footer := footerWire{
+		Cols:     t.Schema.Cols,
+		DictVals: t.Dict.Values(),
+		Blocks:   make([]blockWire, 0, len(t.Parts)),
+	}
+	var buf []byte
+	for _, p := range t.Parts {
+		buf = encodeBlock(buf[:0], t.Schema, p)
+		footer.Blocks = append(footer.Blocks, blockWire{
+			Offset: cw.n,
+			Length: int64(len(buf)),
+			Rows:   int64(p.Rows()),
+			CRC:    crc32.Checksum(buf, crcTable),
+		})
+		if _, err := cw.Write(buf); err != nil {
+			return cw.n, fmt.Errorf("store: write partition %d: %w", p.ID, err)
+		}
+	}
+
+	var fbuf bytes.Buffer
+	if err := gob.NewEncoder(&fbuf).Encode(&footer); err != nil {
+		return cw.n, fmt.Errorf("store: encode footer: %w", err)
+	}
+	if _, err := cw.Write(fbuf.Bytes()); err != nil {
+		return cw.n, fmt.Errorf("store: write footer: %w", err)
+	}
+
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(fbuf.Len()))
+	binary.LittleEndian.PutUint32(trailer[8:12], crc32.Checksum(fbuf.Bytes(), crcTable))
+	copy(trailer[12:], trailerMagic)
+	if _, err := cw.Write(trailer[:]); err != nil {
+		return cw.n, fmt.Errorf("store: write trailer: %w", err)
+	}
+	return cw.n, nil
+}
+
+// WriteFile writes t to path in the paged store format.
+func WriteFile(path string, t *table.Table) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := Write(f, t)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,5 +1,7 @@
 package table
 
+import "fmt"
+
 // Dict is a table-global string dictionary used to encode categorical
 // columns. Codes are dense uint32 values assigned in first-seen order, so
 // equality tests on categorical values reduce to integer comparisons and the
@@ -12,6 +14,22 @@ type Dict struct {
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
 	return &Dict{codes: make(map[string]uint32)}
+}
+
+// DictFromValues rebuilds a dictionary from a decoded value list, assigning
+// codes in list order. The list is untrusted wire data: duplicates are
+// rejected, since a dictionary never assigns two codes to one value and
+// silently deduplicating would shift every later code's meaning.
+func DictFromValues(vals []string) (*Dict, error) {
+	d := NewDict()
+	for _, v := range vals {
+		d.Code(v)
+	}
+	if d.Len() != len(vals) {
+		return nil, fmt.Errorf("table: corrupt file: dictionary has %d entries but only %d distinct values",
+			len(vals), d.Len())
+	}
+	return d, nil
 }
 
 // Code returns the code for v, assigning a new one if v is unseen.
@@ -31,9 +49,22 @@ func (d *Dict) Lookup(v string) (uint32, bool) {
 	return c, ok
 }
 
-// Value returns the string for code c. It panics on out-of-range codes,
-// which indicates a corrupted table.
-func (d *Dict) Value(c uint32) string { return d.vals[c] }
+// Value returns the string for code c. Out-of-range codes — which can only
+// come from a corrupted file or partition block — yield a bounds-checked
+// diagnostic value instead of panicking, mirroring the query layer's
+// GroupLabel handling: a bad code in one block must not crash a serving
+// process that renders values into labels or CSV.
+func (d *Dict) Value(c uint32) string {
+	if int(c) >= len(d.vals) {
+		return fmt.Sprintf("<bad code %d>", c)
+	}
+	return d.vals[c]
+}
 
 // Len returns the number of distinct values in the dictionary.
 func (d *Dict) Len() int { return len(d.vals) }
+
+// Values returns every dictionary value in code order. The slice is the
+// dictionary's backing store: callers (such as the store writer persisting
+// the dictionary) must treat it as read-only.
+func (d *Dict) Values() []string { return d.vals }

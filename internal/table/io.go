@@ -49,9 +49,9 @@ func ReadTable(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("table: corrupt file: %d numeric / %d categorical / %d row-count partition entries",
 			len(wire.PartsNum), len(wire.PartsCat), len(wire.PartsRows))
 	}
-	d := NewDict()
-	for _, v := range wire.DictVals {
-		d.Code(v)
+	d, err := DictFromValues(wire.DictVals)
+	if err != nil {
+		return nil, err
 	}
 	dictLen := uint32(d.Len())
 	t := &Table{Schema: s, Dict: d}

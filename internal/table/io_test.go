@@ -82,6 +82,10 @@ func TestReadTableRejectsCorruption(t *testing.T) {
 		{"duplicate column names", func(w *tableWire) {
 			w.Cols[1].Name = w.Cols[0].Name
 		}, "duplicate"},
+		{"duplicate dictionary values", func(w *tableWire) {
+			w.DictVals = append([]string(nil), w.DictVals...)
+			w.DictVals[1] = w.DictVals[0]
+		}, "distinct values"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

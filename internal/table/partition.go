@@ -53,6 +53,34 @@ func (p *Partition) SizeBytes() int {
 	return n
 }
 
+// MakePartition assembles a partition directly from decoded column data,
+// validating it against the schema: the decode path for external storage
+// formats (internal/store) that reconstruct partitions outside this
+// package. num and cat must each have one entry per schema column, with
+// data only on the matching side and every populated slice holding exactly
+// rows values.
+func MakePartition(s *Schema, id, rows int, num [][]float64, cat [][]uint32) (*Partition, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("table: partition %d has negative row count %d", id, rows)
+	}
+	if len(num) != s.NumCols() || len(cat) != s.NumCols() {
+		return nil, fmt.Errorf("table: partition %d has %d numeric / %d categorical columns, schema has %d",
+			id, len(num), len(cat), s.NumCols())
+	}
+	for c, col := range s.Cols {
+		want, got := rows, len(num[c])
+		other := len(cat[c])
+		if !col.IsNumeric() {
+			got, other = len(cat[c]), len(num[c])
+		}
+		if got != want || other != 0 {
+			return nil, fmt.Errorf("table: partition %d column %q has %d values for %d rows",
+				id, col.Name, got, want)
+		}
+	}
+	return &Partition{ID: id, Num: num, Cat: cat, rows: rows}, nil
+}
+
 // checkWidth verifies the row slice matches the schema width.
 func checkWidth(s *Schema, numVals []float64, catVals []uint32) error {
 	if len(numVals) != s.NumCols() || len(catVals) != s.NumCols() {

@@ -31,16 +31,6 @@ func (t *Table) NumRows() int {
 	return n
 }
 
-// Read returns partition i, charging one partition read to the accountant.
-// Query execution must access partitions through Read so that experiments
-// can attribute I/O.
-func (t *Table) Read(i int) *Partition {
-	p := t.Parts[i]
-	t.readCount.Add(1)
-	t.readBytes.Add(int64(p.SizeBytes()))
-	return p
-}
-
 // ResetIO clears the I/O counters.
 func (t *Table) ResetIO() {
 	t.readCount.Store(0)

@@ -128,8 +128,12 @@ func TestBuilderRejectsBadWidth(t *testing.T) {
 func TestReadAccounting(t *testing.T) {
 	tbl := buildTestTable(t, 300, 100)
 	tbl.ResetIO()
-	tbl.Read(0)
-	tbl.Read(2)
+	if _, err := tbl.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Read(2); err != nil {
+		t.Fatal(err)
+	}
 	parts, bytesRead := tbl.IOStats()
 	if parts != 2 {
 		t.Errorf("IOStats parts = %d, want 2", parts)
@@ -141,6 +145,23 @@ func TestReadAccounting(t *testing.T) {
 	tbl.ResetIO()
 	if p, b := tbl.IOStats(); p != 0 || b != 0 {
 		t.Error("ResetIO did not clear counters")
+	}
+	if _, err := tbl.Read(-1); err == nil {
+		t.Error("Read(-1) should fail, not panic")
+	}
+	if _, err := tbl.Read(tbl.NumParts()); err == nil {
+		t.Error("Read past the last partition should fail, not panic")
+	}
+}
+
+func TestDictValueOutOfRange(t *testing.T) {
+	d := NewDict()
+	d.Code("only")
+	if got := d.Value(7); got != "<bad code 7>" {
+		t.Errorf("Value(7) = %q, want diagnostic value", got)
+	}
+	if got := d.Value(0); got != "only" {
+		t.Errorf("Value(0) = %q, want %q", got, "only")
 	}
 }
 
@@ -264,6 +285,101 @@ func TestRelayoutInvalidParts(t *testing.T) {
 	tbl := buildTestTable(t, 10, 5)
 	if _, err := tbl.Repartition(0); err == nil {
 		t.Error("Repartition(0) should fail")
+	}
+	if _, err := tbl.Repartition(-3); err == nil {
+		t.Error("Repartition(-3) should fail")
+	}
+}
+
+func TestRelayoutEmptyTable(t *testing.T) {
+	empty := &Table{Schema: testSchema(t), Dict: NewDict()}
+	for name, op := range map[string]func() (*Table, error){
+		"Repartition": func() (*Table, error) { return empty.Repartition(4) },
+		"SortBy":      func() (*Table, error) { return empty.SortBy(4, "x") },
+		"Shuffled":    func() (*Table, error) { return empty.Shuffled(4, rand.New(rand.NewSource(1))) },
+	} {
+		got, err := op()
+		if err != nil {
+			t.Fatalf("%s on empty table: %v", name, err)
+		}
+		if got.NumParts() != 0 || got.NumRows() != 0 {
+			t.Errorf("%s on empty table: %d parts / %d rows, want 0/0", name, got.NumParts(), got.NumRows())
+		}
+	}
+}
+
+func TestRepartitionMorePartsThanRows(t *testing.T) {
+	tbl := buildTestTable(t, 5, 5)
+	re, err := tbl.Repartition(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 5 rows exist: gather drops size-zero partitions, so the result
+	// has 5 single-row partitions with dense IDs.
+	if re.NumParts() != 5 {
+		t.Fatalf("NumParts = %d, want 5 (no empty partitions)", re.NumParts())
+	}
+	for i, p := range re.Parts {
+		if p.Rows() != 1 {
+			t.Errorf("partition %d has %d rows, want 1", i, p.Rows())
+		}
+		if p.ID != i {
+			t.Errorf("partition %d has ID %d, want dense IDs", i, p.ID)
+		}
+		if p.Num[0][0] != float64(i) {
+			t.Errorf("partition %d holds row %v, want %d (order preserved)", i, p.Num[0][0], i)
+		}
+	}
+}
+
+func TestSortByMorePartsThanRows(t *testing.T) {
+	b, _ := NewBuilder(testSchema(t), 10)
+	for _, v := range []float64{3, 1, 2} {
+		_ = b.Append([]float64{v, 0, 0}, []string{"", "k", ""})
+	}
+	sorted, err := b.Finish().SortBy(7, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.NumParts() != 3 || sorted.NumRows() != 3 {
+		t.Fatalf("got %d parts / %d rows, want 3/3", sorted.NumParts(), sorted.NumRows())
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if got := sorted.Parts[i].Num[0][0]; got != want {
+			t.Errorf("sorted partition %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRelayoutSingleRowPartitions(t *testing.T) {
+	// Source table already at one row per partition: every relayout op must
+	// survive the minimal-partition shape.
+	tbl := buildTestTable(t, 6, 1)
+	if tbl.NumParts() != 6 {
+		t.Fatalf("fixture has %d parts, want 6", tbl.NumParts())
+	}
+	re, err := tbl.Repartition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumParts() != 2 || re.Parts[0].Rows() != 3 {
+		t.Fatalf("Repartition(2) = %d parts × %d rows, want 2 × 3", re.NumParts(), re.Parts[0].Rows())
+	}
+	sorted, err := tbl.SortBy(6, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sorted.Parts {
+		if got := sorted.Parts[i].Num[0][0]; got != float64(i) {
+			t.Errorf("sorted single-row partition %d = %v, want %d", i, got, i)
+		}
+	}
+	shuf, err := tbl.Shuffled(6, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuf.NumRows() != 6 || shuf.NumParts() != 6 {
+		t.Fatalf("Shuffled kept %d rows / %d parts, want 6/6", shuf.NumRows(), shuf.NumParts())
 	}
 }
 

@@ -50,6 +50,7 @@ import (
 	"ps3/internal/sketch"
 	sqlparse "ps3/internal/sql"
 	"ps3/internal/stats"
+	"ps3/internal/store"
 	"ps3/internal/table"
 )
 
@@ -98,6 +99,48 @@ func NewBuilder(s *Schema, rowsPerPart int) (*Builder, error) {
 
 // ReadTable deserializes a table written with Table.WriteTo.
 var ReadTable = table.ReadTable
+
+// PartitionSource is the seam between query execution and partition
+// storage: a fully resident *Table, or a paged StoreReader that faults
+// picked partitions in from disk through a bounded cache.
+type PartitionSource = table.PartitionSource
+
+// --- Out-of-core paged store (internal/store) ---
+
+// StoreReader serves partitions lazily from a paged store file through a
+// concurrency-safe, byte-budgeted LRU cache. It implements PartitionSource,
+// so a store can back Compile, Estimate, OpenSnapshot and NewServer
+// directly: serving memory scales with the cache budget plus the picked
+// partitions, not the dataset.
+type StoreReader = store.Reader
+
+// StoreOptions configures a StoreReader (cache budget in bytes).
+type StoreOptions = store.Options
+
+// StoreCacheStats snapshots a store's partition-cache counters: hits,
+// misses, evictions, physical bytes loaded and resident bytes vs budget.
+type StoreCacheStats = store.CacheStats
+
+// OpenedTable is a table data file opened by OpenTableFile, either format.
+type OpenedTable = store.OpenedTable
+
+// WriteStore streams t to w in the paged store format: header, one
+// CRC32-checksummed block per partition, and a footer index of
+// offsets/lengths/row counts.
+func WriteStore(w io.Writer, t *Table) (int64, error) { return store.Write(w, t) }
+
+// WriteStoreFile writes t to path in the paged store format.
+func WriteStoreFile(path string, t *Table) (int64, error) { return store.WriteFile(path, t) }
+
+// OpenStore opens a paged store file for on-demand partition serving.
+func OpenStore(path string, o StoreOptions) (*StoreReader, error) { return store.Open(path, o) }
+
+// OpenTableFile opens a table data file of either format — the paged store
+// or the legacy gob encoding — sniffing the header magic, so old files keep
+// working while new ones open paged.
+func OpenTableFile(path string, o StoreOptions) (*OpenedTable, error) {
+	return store.OpenTableFile(path, o)
+}
 
 // --- Query model (internal/query) ---
 
@@ -163,10 +206,11 @@ type Workload = query.Workload
 // Generator samples random queries from a workload over a concrete table.
 type Generator = query.Generator
 
-// NewGenerator validates the workload against the table schema and returns
-// a seeded query sampler.
-func NewGenerator(w Workload, t *Table, seed int64) (*Generator, error) {
-	return query.NewGenerator(w, t, seed)
+// NewGenerator validates the workload against the source's schema and
+// returns a seeded query sampler; constants are drawn from actual rows of
+// src, which may be a resident table or a paged store.
+func NewGenerator(w Workload, src PartitionSource, seed int64) (*Generator, error) {
+	return query.NewGenerator(w, src, seed)
 }
 
 // WeightedPartition is one (partition, weight) choice in a sample; partial
@@ -213,11 +257,15 @@ func OpenWithStats(t *Table, ts *TableStats, opts Options) (*System, error) {
 }
 
 // OpenSnapshot restores a trained System from a snapshot written with
-// System.WriteTo and binds it to t. A snapshot bundles the statistics store,
-// the trained picker (and LSS baseline, if fitted) and the options, so a
-// fresh process cold-starts with zero retraining and produces bit-identical
-// selections and answers to the process that trained.
-func OpenSnapshot(r io.Reader, t *Table) (*System, error) { return core.OpenSnapshot(r, t) }
+// System.WriteTo and binds it to src — a resident *Table, or a StoreReader
+// for out-of-core serving where only picked partitions are ever loaded. A
+// snapshot bundles the statistics store, the trained picker (and LSS
+// baseline, if fitted) and the options, so a fresh process cold-starts with
+// zero retraining and produces bit-identical selections and answers to the
+// process that trained.
+func OpenSnapshot(r io.Reader, src PartitionSource) (*System, error) {
+	return core.OpenSnapshot(r, src)
+}
 
 // --- Serving layer (internal/serve) ---
 
