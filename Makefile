@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec bench-store serve-bench vet fmt-check verify
+.PHONY: build test race race-serve bench bench-exec bench-store bench-pick bench-pick-smoke serve-bench vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,24 @@ bench-exec:
 # budget far below the dataset size.
 bench-store:
 	$(GO) test -bench 'BenchmarkStore' -benchmem -run '^$$' ./internal/store/
+
+# Pick-time inference: the batched pick path (pooled featurization +
+# flat-ensemble funnel) vs the retained pointer-tree reference, across
+# serving budgets, plus the flat predictor micro-benchmarks. The zero-alloc
+# contract of the steady path is asserted by tests
+# (TestPredictBatchZeroAllocs, TestFillRowZeroAllocs,
+# TestBatchScorerZeroAllocsAfterBind), not just observed in -benchmem.
+# BENCH_pick.json records the baseline numbers.
+bench-pick:
+	$(GO) test -bench 'BenchmarkPick|BenchmarkPickInference' -benchmem -run '^$$' ./internal/picker/
+	$(GO) test -bench 'BenchmarkPredictBatch' -benchmem -run '^$$' ./internal/gbt/
+
+# One-iteration smoke run of the pick benchmarks plus the zero-alloc tests;
+# wired into CI so the benchmark fixtures can never rot. Two separate
+# invocations so a failure in either exits nonzero (no output filtering).
+bench-pick-smoke:
+	$(GO) test -run 'ZeroAllocs' -v ./internal/picker/ ./internal/gbt/ ./internal/stats/
+	$(GO) test -bench 'BenchmarkPick|BenchmarkPredictBatch' -benchtime 1x -run '^$$' ./internal/picker/ ./internal/gbt/
 
 # Sustained concurrent serving throughput over a restored snapshot.
 serve-bench:

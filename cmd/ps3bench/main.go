@@ -10,7 +10,11 @@
 // Scale flags (-rows, -parts, -train, -test, -runs) trade fidelity for
 // runtime; defaults complete in minutes on a laptop. All scans run on the
 // shared internal/exec worker pool; -parallelism bounds its width without
-// changing any reported number.
+// changing any reported number. Table 5 (picker overhead) measures the
+// production batched pick path — pooled featurization plus flat-ensemble
+// funnel evaluation at Parallelism=1; `make bench-pick` has the
+// micro-benchmarks comparing it against the retained pointer-tree
+// reference.
 package main
 
 import (

@@ -47,7 +47,7 @@ func MedianExemplars(points [][]float64, a Assignment) []Exemplar {
 		med := medianVector(points, members)
 		best, bestD := members[0], sqDist(points[members[0]], med)
 		for _, m := range members[1:] {
-			if d := sqDist(points[m], med); d < bestD {
+			if d := sqDistBounded(points[m], med, bestD); d < bestD {
 				best, bestD = m, d
 			}
 		}

@@ -34,6 +34,33 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
+// sqDistBounded is sqDist with early abandoning: once the partial sum
+// reaches bound, it returns immediately. The accumulation order is
+// identical to sqDist, and adding non-negative terms is monotone
+// non-decreasing under IEEE round-to-nearest, so "partial ≥ bound ⇒ full
+// sum ≥ bound" holds exactly: a caller testing d < bound takes the same
+// branch as with the full distance, making this a bit-exact drop-in for
+// nearest-neighbor searches. The bound check runs every 8 dimensions to
+// keep the common case cheap.
+func sqDistBounded(a, b []float64, bound float64) float64 {
+	var s float64
+	i := 0
+	for i < len(a) {
+		end := i + 8
+		if end > len(a) {
+			end = len(a)
+		}
+		for ; i < end; i++ {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		if s >= bound {
+			return s
+		}
+	}
+	return s
+}
+
 // KMeans clusters points into k clusters with k-means++ seeding and Lloyd
 // iterations. Deterministic given rng. k is clamped to len(points).
 func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) Assignment {
@@ -80,7 +107,7 @@ func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) Assignment {
 		c := append([]float64(nil), points[pick]...)
 		centers = append(centers, c)
 		for i := range d2 {
-			if d := sqDist(points[i], c); d < d2[i] {
+			if d := sqDistBounded(points[i], c, d2[i]); d < d2[i] {
 				d2[i] = d
 			}
 		}
@@ -92,7 +119,7 @@ func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) Assignment {
 		for i, p := range points {
 			best, bestD := 0, math.Inf(1)
 			for c := range centers {
-				if d := sqDist(p, centers[c]); d < bestD {
+				if d := sqDistBounded(p, centers[c], bestD); d < bestD {
 					best, bestD = c, d
 				}
 			}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ps3/internal/exec"
 	"ps3/internal/picker"
@@ -209,14 +210,26 @@ func (s *System) Train(queries []*query.Query, examples []picker.Example) error 
 }
 
 // Pick selects a weighted partition sample for q at the given budget
-// (fraction of partitions to read). The system must be trained.
+// (fraction of partitions to read). The system must be trained. Picking
+// runs on the batched inference path: features are computed into pooled
+// scratch (in parallel across partition blocks, bounded by
+// Options.Parallelism) and the funnel regressors evaluate whole groups on
+// their compiled flat form — bit-identical to the reference
+// Features+Pick pipeline at every parallelism setting.
 func (s *System) Pick(q *query.Query, budgetFrac float64) ([]query.WeightedPartition, error) {
+	sel, _, err := s.PickWithStats(q, budgetFrac)
+	return sel, err
+}
+
+// PickWithStats is Pick with the picker's timing breakdown (total,
+// featurization, clustering) for latency accounting.
+func (s *System) PickWithStats(q *query.Query, budgetFrac float64) ([]query.WeightedPartition, picker.PickStats, error) {
 	if s.Picker == nil {
-		return nil, fmt.Errorf("core: system is not trained; call Train first")
+		return nil, picker.PickStats{}, fmt.Errorf("core: system is not trained; call Train first")
 	}
-	features := s.Stats.Features(q)
 	n := budgetParts(budgetFrac, s.Source.NumParts())
-	return s.Picker.Pick(q, features, n, s.pickRNG(q)), nil
+	sel, st := s.Picker.PickBatchWithStats(q, n, s.pickRNG(q), s.Opts.execOpts())
+	return sel, st, nil
 }
 
 // pickRNG derives the query-time randomness stream: the system seed mixed
@@ -240,6 +253,12 @@ type Result struct {
 	// PartsRead and FracRead account the I/O spent.
 	PartsRead int
 	FracRead  float64
+	// PickTime and ScanTime split the execution latency into partition
+	// selection (featurization + funnel + clustering) and the weighted
+	// partition scan; the serve layer aggregates them into its /stats
+	// breakdown. Zero on RunExact, which does not pick.
+	PickTime time.Duration
+	ScanTime time.Duration
 }
 
 // Compile binds q to the system's table, ready for repeated execution via
@@ -265,10 +284,11 @@ func (s *System) Run(q *query.Query, budgetFrac float64) (*Result, error) {
 // lives in per-call (or pooled per-worker) buffers. On a store-backed
 // system the picked partitions are faulted in through the page cache.
 func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, error) {
-	sel, err := s.Pick(c.Q, budgetFrac)
+	sel, pickStats, err := s.PickWithStats(c.Q, budgetFrac)
 	if err != nil {
 		return nil, err
 	}
+	scanStart := time.Now()
 	ans, err := c.Estimate(s.Source, sel)
 	if err != nil {
 		return nil, err
@@ -284,6 +304,8 @@ func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, er
 		Selection: sel,
 		PartsRead: len(sel),
 		FracRead:  float64(len(sel)) / float64(s.Source.NumParts()),
+		PickTime:  pickStats.Total,
+		ScanTime:  time.Since(scanStart),
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"ps3/internal/core"
 	"ps3/internal/dataset"
+	"ps3/internal/exec"
 )
 
 // ClusterSim models the SCOPE cluster of Table 3: W parallel workers process
@@ -133,8 +134,11 @@ type Table5Row struct {
 	Parts, FeatureDim  int
 }
 
-// RunTable5 reproduces Table 5: single-thread picker latency (total and the
-// clustering share), averaged across test queries and budgets.
+// RunTable5 reproduces Table 5: picker latency (total and the clustering
+// share), averaged across test queries and budgets. It measures the
+// production pick path — PickBatch with featurization included — at
+// Parallelism=1, so the numbers are end-to-end per-query pick overhead
+// rather than the latency of scoring a prebuilt feature matrix.
 func RunTable5(w io.Writer, cfg Config) ([]Table5Row, error) {
 	cfg = cfg.WithDefaults()
 	fmt.Fprintf(w, "\nTable 5 — picker overhead (ms, avg across budgets)\n")
@@ -155,7 +159,7 @@ func RunTable5(w io.Writer, cfg Config) ([]Table5Row, error) {
 			n := budgetParts(b, ds.Table.NumParts())
 			for qi, ex := range env.TestEx {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(qi)))
-				_, st := env.Sys.Picker.PickWithStats(ex.Query, ex.Features, n, rng)
+				_, st := env.Sys.Picker.PickBatchWithStats(ex.Query, n, rng, exec.Options{Parallelism: 1})
 				totalD += st.Total
 				clusterD += st.Cluster
 				count++

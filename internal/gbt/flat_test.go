@@ -1,0 +1,298 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// trainRandomModel fits a small ensemble on noisy random data so trees have
+// real depth and varied topology.
+func trainRandomModel(t testing.TB, seed int64, n, dim int) (*Model, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64() * float64(j+1)
+		}
+		xs[i] = row
+		ys[i] = row[0]*2 - row[dim-1] + rng.NormFloat64()*0.1
+	}
+	m, err := Train(xs, ys, Params{Trees: 25, MaxDepth: 5, Subsample: 0.9, ColSample: 0.9, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, xs
+}
+
+// TestFlatMatchesReferenceBitIdentical is the core equivalence contract: the
+// compiled flat engine must reproduce the pointer-tree reference evaluator
+// bit for bit, on training rows and on fresh random rows.
+func TestFlatMatchesReferenceBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		m, xs := trainRandomModel(t, seed, 300, 6)
+		rng := rand.New(rand.NewSource(seed + 100))
+		probe := append([][]float64(nil), xs...)
+		for i := 0; i < 200; i++ {
+			row := make([]float64, 6)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 50
+			}
+			probe = append(probe, row)
+		}
+		dst := make([]float64, len(probe))
+		m.PredictBatch(dst, probe)
+		for i, x := range probe {
+			ref := m.PredictReference(x)
+			if got := m.Predict(x); got != ref {
+				t.Fatalf("seed %d row %d: Predict %v != reference %v", seed, i, got, ref)
+			}
+			if dst[i] != ref {
+				t.Fatalf("seed %d row %d: PredictBatch %v != reference %v", seed, i, dst[i], ref)
+			}
+		}
+	}
+}
+
+// TestPredictFlatMatchesBatch checks the row-major entry point against the
+// slice-of-rows one, including a stride wider than the model dimension.
+func TestPredictFlatMatchesBatch(t *testing.T) {
+	m, xs := trainRandomModel(t, 3, 200, 5)
+	for _, stride := range []int{5, 8} {
+		flat := make([]float64, len(xs)*stride)
+		for i, row := range xs {
+			copy(flat[i*stride:], row)
+		}
+		want := make([]float64, len(xs))
+		m.PredictBatch(want, xs)
+		got := make([]float64, len(xs))
+		m.PredictFlat(got, flat, stride)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stride %d: PredictFlat diverges from PredictBatch", stride)
+		}
+	}
+}
+
+// TestNaNGoesRight pins the defined non-finite traversal rule: NaN features
+// descend right at every split, in both evaluators, and ±Inf behave as
+// ordered extremes. The rule is goesRight(x, t) = !(x <= t).
+func TestNaNGoesRight(t *testing.T) {
+	nan := math.NaN()
+	if !goesRight(nan, 0) || !goesRight(nan, math.Inf(1)) || !goesRight(nan, math.Inf(-1)) {
+		t.Fatal("NaN must descend right at every split")
+	}
+	if goesRight(math.Inf(-1), 0) {
+		t.Fatal("-Inf must descend left of any finite threshold")
+	}
+	if !goesRight(math.Inf(1), 0) {
+		t.Fatal("+Inf must descend right of any finite threshold")
+	}
+	if goesRight(math.Inf(1), math.Inf(1)) {
+		t.Fatal("+Inf <= +Inf: must descend left")
+	}
+
+	// End to end: non-finite feature vectors evaluate identically (bitwise)
+	// on the reference and flat paths, and produce finite outputs (leaves are
+	// finite, traversal is total).
+	m, _ := trainRandomModel(t, 11, 300, 4)
+	rng := rand.New(rand.NewSource(12))
+	specials := []float64{nan, math.Inf(1), math.Inf(-1), 0, -1e300, 1e300}
+	var probe [][]float64
+	for i := 0; i < 500; i++ {
+		row := make([]float64, 4)
+		for j := range row {
+			if rng.Intn(2) == 0 {
+				row[j] = specials[rng.Intn(len(specials))]
+			} else {
+				row[j] = rng.NormFloat64() * 10
+			}
+		}
+		probe = append(probe, row)
+		ref := m.PredictReference(row)
+		if got := m.Predict(row); got != ref {
+			t.Fatalf("non-finite row %v: flat %v != reference %v", row, got, ref)
+		}
+		if math.IsNaN(ref) || math.IsInf(ref, 0) {
+			t.Fatalf("non-finite prediction %v for row %v", ref, row)
+		}
+	}
+	// The batch tables route non-finite features identically.
+	batch := make([]float64, len(probe))
+	m.PredictBatch(batch, probe)
+	for i, row := range probe {
+		if ref := m.PredictReference(row); batch[i] != ref {
+			t.Fatalf("non-finite row %v: batch %v != reference %v", row, batch[i], ref)
+		}
+	}
+
+	// A NaN feature must take the right subtree of a split on that feature:
+	// build a deterministic one-split model via snapshot.
+	s := ModelSnapshot{
+		Params: Params{LearningRate: 1},
+		Base:   0,
+		Dim:    1,
+		Trees: []TreeSnapshot{{Nodes: []NodeSnapshot{
+			{Feature: 0, Thresh: 0.5, Left: 1, Right: 2},
+			{Feature: -1, Value: -1}, // left
+			{Feature: -1, Value: +1}, // right
+		}}},
+	}
+	sm, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.Predict([]float64{nan}); got != 1 {
+		t.Fatalf("NaN routed to value %v, want right leaf (+1)", got)
+	}
+	if got := sm.PredictReference([]float64{nan}); got != 1 {
+		t.Fatalf("reference routed NaN to value %v, want right leaf (+1)", got)
+	}
+}
+
+// TestSnapshotRoundTripsThroughFlatCompiler is the golden guarantee for
+// PR-3/PR-4 snapshots: restoring a snapshot and compiling it flat yields
+// exactly the arrays of the original model's flat form, and bit-identical
+// predictions.
+func TestSnapshotRoundTripsThroughFlatCompiler(t *testing.T) {
+	m, xs := trainRandomModel(t, 21, 250, 5)
+	back, err := FromSnapshot(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.flat, back.flat) {
+		t.Fatal("flat compile of restored snapshot differs from original")
+	}
+	a := make([]float64, len(xs))
+	b := make([]float64, len(xs))
+	m.PredictBatch(a, xs)
+	back.PredictBatch(b, xs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("restored snapshot predicts differently through the flat engine")
+	}
+}
+
+// TestFlatTopologyCounts sanity-checks the compiled layout: every tree
+// contributes nodes+leaves matching its pointer form, and single-leaf trees
+// compile to a negative root.
+func TestFlatTopologyCounts(t *testing.T) {
+	m, _ := trainRandomModel(t, 5, 300, 4)
+	splits, leaves := 0, 0
+	for _, tr := range m.trees {
+		for _, n := range tr.nodes {
+			if n.feature < 0 {
+				leaves++
+			} else {
+				splits++
+			}
+		}
+	}
+	if m.flat.NumNodes() != splits {
+		t.Fatalf("flat has %d split nodes, trees have %d", m.flat.NumNodes(), splits)
+	}
+	if m.flat.NumLeaves() != leaves {
+		t.Fatalf("flat has %d leaves, trees have %d", m.flat.NumLeaves(), leaves)
+	}
+	// Every child reference is either a valid node index or a valid negative
+	// leaf reference.
+	for j := 0; j < m.flat.NumNodes(); j++ {
+		for _, ref := range []int32{m.flat.left[j], m.flat.right[j]} {
+			if ref >= 0 && int(ref) >= m.flat.NumNodes() {
+				t.Fatalf("node %d links to out-of-range node %d", j, ref)
+			}
+			if ref < 0 && int(-ref-1) >= m.flat.NumLeaves() {
+				t.Fatalf("node %d links to out-of-range leaf %d", j, -ref-1)
+			}
+		}
+	}
+
+	// Single-leaf tree: constant target keeps later trees leaf-only.
+	xs := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}}
+	ys := []float64{3, 3, 3, 3, 3, 3, 3, 3, 3, 3}
+	cm, err := Train(xs, ys, Params{Trees: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundLeafRoot := false
+	for _, r := range cm.flat.roots {
+		if r < 0 {
+			foundLeafRoot = true
+		}
+	}
+	if !foundLeafRoot {
+		t.Fatal("constant model compiled no single-leaf tree")
+	}
+	for _, x := range xs {
+		if got, want := cm.Predict(x), cm.PredictReference(x); got != want {
+			t.Fatalf("single-leaf tree: flat %v != reference %v", got, want)
+		}
+	}
+}
+
+// TestPredictBatchZeroAllocs asserts the steady-state allocation contract of
+// the batch entry points: reusing dst (and the row-major matrix), repeated
+// batch predictions allocate nothing.
+func TestPredictBatchZeroAllocs(t *testing.T) {
+	m, xs := trainRandomModel(t, 9, 256, 6)
+	dst := make([]float64, len(xs))
+	if allocs := testing.AllocsPerRun(20, func() { m.PredictBatch(dst, xs) }); allocs != 0 {
+		t.Fatalf("PredictBatch allocates %.0f objects per run, want 0", allocs)
+	}
+	stride := 6
+	flat := make([]float64, len(xs)*stride)
+	for i, row := range xs {
+		copy(flat[i*stride:], row)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { m.PredictFlat(dst, flat, stride) }); allocs != 0 {
+		t.Fatalf("PredictFlat allocates %.0f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkPredictBatch compares the pointer-tree reference against the flat
+// batch engine on one partition-batch-sized matrix; the flat sub-benchmark
+// reports its in-run speedup over the reference.
+func BenchmarkPredictBatch(b *testing.B) {
+	m, _ := trainRandomModel(b, 13, 400, 24)
+	rng := rand.New(rand.NewSource(14))
+	const rows = 512
+	xs := make([][]float64, rows)
+	for i := range xs {
+		row := make([]float64, 24)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 10
+		}
+		xs[i] = row
+	}
+	dst := make([]float64, rows)
+
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, x := range xs {
+				dst[j] = m.PredictReference(x)
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		const refIters = 20
+		refStart := time.Now()
+		for i := 0; i < refIters; i++ {
+			for j, x := range xs {
+				dst[j] = m.PredictReference(x)
+			}
+		}
+		refPer := time.Since(refStart) / refIters
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PredictBatch(dst, xs)
+		}
+		b.StopTimer()
+		flatPer := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(refPer)/float64(flatPer), "speedup")
+	})
+}

@@ -61,14 +61,22 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Model is a trained gradient-boosted regression ensemble.
+// Model is a trained gradient-boosted regression ensemble. The pointer trees
+// are the training-time representation and the reference evaluator; every
+// trained or restored model also carries a compiled flat struct-of-arrays
+// form (flat.go) that the prediction entry points run on.
 type Model struct {
 	params     Params
 	base       float64
 	trees      []*tree
 	importance []float64
 	dim        int
+	flat       *Flat
 }
+
+// compile builds the flat inference form; called once at the end of Train
+// and FromSnapshot, so every usable Model has a non-nil flat engine.
+func (m *Model) compile() { m.flat = compileFlat(m.base, m.params.LearningRate, m.dim, m.trees) }
 
 // Train fits a squared-loss gradient-boosted ensemble on xs (N×M) and
 // targets ys (N).
@@ -146,6 +154,7 @@ func Train(xs [][]float64, ys []float64, params Params) (*Model, error) {
 			pred[i] += p.LearningRate * t.predict(xs[i])
 		}
 	}
+	m.compile()
 	return m, nil
 }
 
@@ -162,8 +171,15 @@ func sampleIdx(idx []int, rate float64, rng *rand.Rand) []int {
 	return out
 }
 
-// Predict returns the model output for one feature vector.
-func (m *Model) Predict(x []float64) float64 {
+// Predict returns the model output for one feature vector, evaluated on the
+// compiled flat form. Bit-identical to PredictReference.
+func (m *Model) Predict(x []float64) float64 { return m.flat.predictRow(x) }
+
+// PredictReference is the retained pointer-tree evaluator: it walks the
+// training-time node structs tree by tree. It exists as the independent
+// reference implementation the flat engine is equivalence-tested against;
+// hot paths use Predict / PredictBatch / PredictFlat.
+func (m *Model) PredictReference(x []float64) float64 {
 	v := m.base
 	for _, t := range m.trees {
 		v += m.params.LearningRate * t.predict(x)
@@ -171,13 +187,29 @@ func (m *Model) Predict(x []float64) float64 {
 	return v
 }
 
-// PredictBatch returns outputs for many rows.
-func (m *Model) PredictBatch(xs [][]float64) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Predict(x)
+// PredictBatch fills dst[i] with the model output for xs[i], evaluating all
+// trees over the whole batch in tight array sweeps. dst and xs must have
+// equal length. It performs zero allocations, so callers can reuse dst across
+// batches; per-row results are bit-identical to Predict.
+func (m *Model) PredictBatch(dst []float64, xs [][]float64) {
+	if len(dst) != len(xs) {
+		panic("gbt: PredictBatch dst/xs length mismatch")
 	}
-	return out
+	m.flat.predictBatch(dst, xs)
+}
+
+// PredictFlat is PredictBatch over a row-major feature matrix: row i is
+// x[i*stride : i*stride+Dim()], and len(dst) rows are evaluated. Zero
+// allocations; this is the entry point for batch featurization scratch
+// buffers.
+func (m *Model) PredictFlat(dst []float64, x []float64, stride int) {
+	if stride < m.dim {
+		panic("gbt: PredictFlat stride smaller than model dimension")
+	}
+	if len(dst) > 0 && (len(dst)-1)*stride+m.dim > len(x) {
+		panic("gbt: PredictFlat matrix shorter than dst rows require")
+	}
+	m.flat.predictFlat(dst, x, stride)
 }
 
 // Importance returns per-feature total split gain ("gain" importance, the

@@ -195,10 +195,8 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := m.PredictBatch(xs)
-	if len(batch) != len(xs) {
-		t.Fatalf("batch size %d, want %d", len(batch), len(xs))
-	}
+	batch := make([]float64, len(xs))
+	m.PredictBatch(batch, xs)
 	for i, x := range xs {
 		if batch[i] != m.Predict(x) {
 			t.Fatalf("batch[%d] = %v, Predict = %v", i, batch[i], m.Predict(x))

@@ -93,5 +93,6 @@ func FromSnapshot(s ModelSnapshot) (*Model, error) {
 		}
 		m.trees = append(m.trees, t)
 	}
+	m.compile()
 	return m, nil
 }

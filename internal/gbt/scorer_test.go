@@ -1,0 +1,128 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBatchScorerMatchesPredictBatch: a scorer bound with fixed values and
+// value ranges must reproduce PredictBatch bit for bit on rows honoring
+// those declarations.
+func TestBatchScorerMatchesPredictBatch(t *testing.T) {
+	const dim = 8
+	m, _ := trainRandomModel(t, 31, 400, dim)
+	rng := rand.New(rand.NewSource(32))
+
+	// Fixed values for some features, ranges for others, nothing for the rest.
+	fixedVal := map[int]float64{1: 0, 4: 2.5}
+	ranged := map[int][2]float64{2: {-3, 3}, 6: {0, 40}}
+	rows := make([][]float64, 300)
+	for i := range rows {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64() * float64(j+1) * 3
+		}
+		for j, v := range fixedVal {
+			row[j] = v
+		}
+		for j, r := range ranged {
+			row[j] = r[0] + rng.Float64()*(r[1]-r[0])
+		}
+		rows[i] = row
+	}
+
+	want := make([]float64, len(rows))
+	m.PredictBatch(want, rows)
+
+	var s BatchScorer
+	s.Bind(m, func(j int) (float64, float64, bool) {
+		if v, ok := fixedVal[j]; ok {
+			return v, v, true
+		}
+		if r, ok := ranged[j]; ok {
+			return r[0], r[1], true
+		}
+		return 0, 0, false
+	})
+	got := make([]float64, len(rows))
+	s.Predict(got, rows)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: scorer %v != PredictBatch %v", i, got[i], want[i])
+		}
+	}
+
+	// Re-binding with no knowledge at all must also match.
+	s.Bind(m, func(int) (float64, float64, bool) { return 0, 0, false })
+	s.Predict(got, rows)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unspecialized row %d: scorer %v != PredictBatch %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchScorerInfiniteRanges: ±Inf range endpoints must behave as "no
+// information" on that side without breaking bind-time folding.
+func TestBatchScorerInfiniteRanges(t *testing.T) {
+	m, xs := trainRandomModel(t, 33, 300, 5)
+	want := make([]float64, len(xs))
+	m.PredictBatch(want, xs)
+	var s BatchScorer
+	s.Bind(m, func(j int) (float64, float64, bool) {
+		return math.Inf(-1), math.Inf(1), true
+	})
+	got := make([]float64, len(xs))
+	s.Predict(got, xs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: scorer with (-Inf,+Inf) ranges %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchScorerFallback: models whose trees exceed the batch-table leaf
+// bound still predict correctly through the scorer (walking fallback).
+func TestBatchScorerFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n := 3000
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		ys[i] = xs[i][0]*xs[i][1] + math.Sin(xs[i][2]*3)
+	}
+	// Depth 8 trees can exceed 64 leaves, disabling the batch tables.
+	m, err := Train(xs, ys, Params{Trees: 6, MaxDepth: 8, MinLeaf: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.flat.qsOK {
+		t.Skip("trees stayed small enough for batch tables; fallback not exercised")
+	}
+	var s BatchScorer
+	s.Bind(m, func(int) (float64, float64, bool) { return 0, 0, false })
+	got := make([]float64, 50)
+	s.Predict(got, xs[:50])
+	for i := range got {
+		if want := m.PredictReference(xs[i]); got[i] != want {
+			t.Fatalf("fallback row %d: %v != %v", i, got[i], want)
+		}
+	}
+}
+
+// TestBatchScorerZeroAllocsAfterBind: repeated Predict calls on a bound
+// scorer allocate nothing.
+func TestBatchScorerZeroAllocsAfterBind(t *testing.T) {
+	m, xs := trainRandomModel(t, 35, 256, 6)
+	var s BatchScorer
+	s.Bind(m, func(j int) (float64, float64, bool) { return 0, 0, j == 3 })
+	for i := range xs {
+		xs[i][3] = 0
+	}
+	dst := make([]float64, len(xs))
+	if allocs := testing.AllocsPerRun(20, func() { s.Predict(dst, xs) }); allocs != 0 {
+		t.Fatalf("BatchScorer.Predict allocates %.0f objects per run, want 0", allocs)
+	}
+}

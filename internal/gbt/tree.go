@@ -24,6 +24,14 @@ type tree struct {
 	nodes []node
 }
 
+// goesRight is the single traversal rule shared by the pointer-tree and flat
+// evaluators: a row descends right iff its feature value does NOT satisfy
+// x <= thresh. Spelled with the negation so the NaN case is a defined part of
+// the contract rather than incidental comparison semantics: NaN fails every
+// ordered comparison, so NaN features always descend right; -Inf always goes
+// left and +Inf always goes right (unless the threshold is itself +Inf).
+func goesRight(x, thresh float64) bool { return !(x <= thresh) }
+
 // predict returns the tree's output for x.
 func (t *tree) predict(x []float64) float64 {
 	i := 0
@@ -32,10 +40,10 @@ func (t *tree) predict(x []float64) float64 {
 		if n.feature < 0 {
 			return n.value
 		}
-		if x[n.feature] <= n.thresh {
-			i = n.left
-		} else {
+		if goesRight(x[n.feature], n.thresh) {
 			i = n.right
+		} else {
+			i = n.left
 		}
 	}
 }

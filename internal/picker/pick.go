@@ -4,9 +4,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"ps3/internal/cluster"
+	"ps3/internal/exec"
+	"ps3/internal/gbt"
 	"ps3/internal/query"
 	"ps3/internal/stats"
 )
@@ -22,12 +25,100 @@ func clusterGreedy(candidates []int, eval func(map[int]bool) float64, restarts i
 type PickStats struct {
 	Total   time.Duration
 	Cluster time.Duration
+	// Featurize is the time spent building the partition feature matrix;
+	// only populated by PickBatch, where featurization is part of the pick.
+	Featurize time.Duration
 }
+
+// funnelEval selects which evaluator the importance funnel runs on.
+type funnelEval uint8
+
+const (
+	// evalFlat predicts row-at-a-time on the compiled flat ensembles (the
+	// path behind the legacy Pick signature).
+	evalFlat funnelEval = iota
+	// evalReference predicts on the retained pointer-tree evaluator; the
+	// baseline the batch path is equivalence-tested against.
+	evalReference
+	// evalBatch predicts each funnel group in one PredictBatch sweep over
+	// pooled scratch, allocating nothing per partition.
+	evalBatch
+)
+
+// pickScratch is the reusable per-Pick working set: the row-major feature
+// matrix, per-row slice views into it, and the funnel's prediction/gather
+// buffers. Scratches are pooled package-wide so sustained serving reaches a
+// steady state of zero per-pick matrix allocations regardless of how many
+// Picker values (or copies — the experiment harness copies pickers to apply
+// lesion flags) are live.
+type pickScratch struct {
+	x      []float64
+	rows   [][]float64
+	preds  []float64
+	gather [][]float64
+	// Cluster-preparation scratch: the per-pick excluded-slot mask, the
+	// active-slot list of the group being clustered, and the compact
+	// normalized matrix handed to the clustering algorithm.
+	excluded []bool
+	active   []int32
+	normBuf  []float64
+	normRows [][]float64
+	// Funnel scratch: the per-pick masked-slot lookup and one specialized
+	// scorer per funnel stage (masked features hold the same zero in every
+	// row, so their split conditions fold into the scorers at bind time).
+	masked  []bool
+	scorers []gbt.BatchScorer
+}
+
+var pickScratchPool sync.Pool
+
+// getPickScratch returns a scratch sized for an n-partition, m-feature pick,
+// growing the pooled buffers only when a larger table is seen.
+func getPickScratch(n, m int) *pickScratch {
+	sc, _ := pickScratchPool.Get().(*pickScratch)
+	if sc == nil {
+		sc = &pickScratch{}
+	}
+	if cap(sc.x) < n*m {
+		sc.x = make([]float64, n*m)
+	}
+	sc.x = sc.x[:n*m]
+	if cap(sc.rows) < n {
+		sc.rows = make([][]float64, n)
+	}
+	sc.rows = sc.rows[:n]
+	for i := 0; i < n; i++ {
+		sc.rows[i] = sc.x[i*m : (i+1)*m : (i+1)*m]
+	}
+	if cap(sc.preds) < n {
+		sc.preds = make([]float64, n)
+	}
+	sc.preds = sc.preds[:n]
+	if cap(sc.gather) < n {
+		sc.gather = make([][]float64, n)
+	}
+	sc.gather = sc.gather[:n]
+	if cap(sc.excluded) < m {
+		sc.excluded = make([]bool, m)
+	}
+	sc.excluded = sc.excluded[:m]
+	if cap(sc.masked) < m {
+		sc.masked = make([]bool, m)
+	}
+	sc.masked = sc.masked[:m]
+	return sc
+}
+
+func putPickScratch(sc *pickScratch) { pickScratchPool.Put(sc) }
 
 // Pick runs Algorithm 1: outliers → importance funnel → α-decayed budget
 // allocation → per-group clustering selection. features is the raw N×M
 // matrix for q from stats.TableStats.Features; budget n is the number of
 // partitions to read. The returned weights combine per §2.4.
+//
+// Callers that do not already hold a feature matrix should prefer PickBatch,
+// which featurizes into pooled scratch (in parallel) instead of allocating
+// an N×M matrix per query.
 func (p *Picker) Pick(q *query.Query, features [][]float64, n int, rng *rand.Rand) []query.WeightedPartition {
 	sel, _ := p.PickWithStats(q, features, n, rng)
 	return sel
@@ -37,12 +128,90 @@ func (p *Picker) Pick(q *query.Query, features [][]float64, n int, rng *rand.Ran
 func (p *Picker) PickWithStats(q *query.Query, features [][]float64, n int, rng *rand.Rand) ([]query.WeightedPartition, PickStats) {
 	var st PickStats
 	start := time.Now()
-	sel := p.pick(q, features, n, rng, &st)
+	sel := p.pick(q, features, n, rng, &st, evalFlat, nil)
 	st.Total = time.Since(start)
 	return sel, st
 }
 
-func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Rand, st *PickStats) []query.WeightedPartition {
+// PickReference is Pick evaluated end to end on the reference
+// implementations: per-partition feature rows and the pointer-tree funnel
+// evaluator. It exists as the equivalence baseline for PickBatch; serving
+// paths never call it.
+func (p *Picker) PickReference(q *query.Query, features [][]float64, n int, rng *rand.Rand) []query.WeightedPartition {
+	var st PickStats
+	return p.pick(q, features, n, rng, &st, evalReference, nil)
+}
+
+// PickBatch is the batched fast path of Algorithm 1: it featurizes every
+// partition into a pooled row-major scratch matrix (in parallel over
+// partition blocks on the shared exec pool, bounded by eo.Parallelism) and
+// runs the importance funnel as whole-group PredictBatch sweeps over the
+// compiled flat ensembles. Zero allocations per partition in the steady
+// state. The selection is bit-identical to
+// Pick(q, p.TS.Features(q), n, rng) — and to PickReference — at every
+// parallelism setting: features are filled into disjoint rows indexed by
+// partition, and the selection logic consumes them in partition order.
+func (p *Picker) PickBatch(q *query.Query, n int, rng *rand.Rand, eo exec.Options) []query.WeightedPartition {
+	sel, _ := p.PickBatchWithStats(q, n, rng, eo)
+	return sel
+}
+
+// pickFillBlock is the partition-block granularity of parallel
+// featurization: big enough to amortize work distribution, small enough to
+// load-balance uneven selectivity estimates.
+const pickFillBlock = 32
+
+// PickBatchWithStats is PickBatch with timing instrumentation.
+func (p *Picker) PickBatchWithStats(q *query.Query, n int, rng *rand.Rand, eo exec.Options) ([]query.WeightedPartition, PickStats) {
+	var st PickStats
+	start := time.Now()
+	total := len(p.TS.Parts)
+	if n >= total {
+		// Budget covers everything (mirrors pick's first branch without
+		// featurizing): exact answer, weight 1 each.
+		sel := make([]query.WeightedPartition, total)
+		for i := range sel {
+			sel[i] = query.WeightedPartition{Part: i, Weight: 1}
+		}
+		st.Total = time.Since(start)
+		return sel, st
+	}
+	if n <= 0 {
+		st.Total = time.Since(start)
+		return nil, st
+	}
+	plan := p.TS.NewFeaturePlan(q)
+	m := plan.Dim()
+	sc := getPickScratch(total, m)
+	defer putPickScratch(sc)
+	// Slot masks (scratch is pooled across pickers, so both are rebuilt per
+	// pick): the feature-selection exclusion set and the query's masked
+	// columns.
+	for j, meta := range p.TS.Space.Meta {
+		sc.excluded[j] = p.Excluded[meta.Kind]
+		sc.masked[j] = false
+	}
+	for _, j := range plan.MaskSlots() {
+		sc.masked[j] = true
+	}
+	blocks := (total + pickFillBlock - 1) / pickFillBlock
+	exec.ForEach(blocks, eo, func(b int) {
+		lo := b * pickFillBlock
+		hi := lo + pickFillBlock
+		if hi > total {
+			hi = total
+		}
+		for i := lo; i < hi; i++ {
+			plan.FillRow(sc.x[i*m:(i+1)*m], i)
+		}
+	})
+	st.Featurize = time.Since(start)
+	sel := p.pick(q, sc.rows, n, rng, &st, evalBatch, sc)
+	st.Total = time.Since(start)
+	return sel, st
+}
+
+func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Rand, st *PickStats, ev funnelEval, sc *pickScratch) []query.WeightedPartition {
 	total := len(features)
 	if n >= total {
 		// Budget covers everything: exact answer, weight 1 each.
@@ -115,7 +284,7 @@ func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Ran
 	}
 
 	// 3. Importance funnel (Algorithm 2), least-important group first.
-	groups := p.importanceGroups(features, candidates)
+	groups := p.importanceGroups(features, candidates, ev, sc)
 
 	// 4. Allocate budget across groups with rate decaying by α from more to
 	// less important groups.
@@ -138,7 +307,11 @@ func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Ran
 			continue
 		}
 		cstart := time.Now()
-		selection = append(selection, p.clusterSelect(features, g, ni, p.Excluded, rng)...)
+		if sc != nil {
+			selection = append(selection, p.clusterSelectFast(features, g, ni, rng, sc)...)
+		} else {
+			selection = append(selection, p.clusterSelect(features, g, ni, p.Excluded, rng)...)
+		}
 		st.Cluster += time.Since(cstart)
 	}
 	return selection
@@ -172,46 +345,61 @@ func (p *Picker) findOutliers(q *query.Query, total int) (outliers, rest []int) 
 	if len(cols) == 0 {
 		return nil, allParts(total)
 	}
-	type groupInfo struct {
-		parts []int
+	// Group partitions by bitmap signature with one sort instead of a map:
+	// pairs ordered by (signature, partition) make each group a contiguous
+	// run with ascending members, exactly the membership and order the
+	// map-based grouping produced.
+	type sigPart struct {
+		sig  uint64
+		part int
 	}
-	groupsBySig := make(map[uint64]*groupInfo)
+	pairs := make([]sigPart, total)
 	for i := 0; i < total; i++ {
 		var sig uint64
 		for _, ci := range cols {
 			sig = sig*1000003 + uint64(p.TS.Parts[i].Bitmap[ci]) + 1
 		}
-		g, ok := groupsBySig[sig]
-		if !ok {
-			g = &groupInfo{}
-			groupsBySig[sig] = g
-		}
-		g.parts = append(g.parts, i)
+		pairs[i] = sigPart{sig, i}
 	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].sig != pairs[b].sig {
+			return pairs[a].sig < pairs[b].sig
+		}
+		return pairs[a].part < pairs[b].part
+	})
+	type span struct{ lo, hi int } // pairs[lo:hi] is one signature group
+	var groups []span
 	largest := 0
-	for _, g := range groupsBySig {
-		if len(g.parts) > largest {
-			largest = len(g.parts)
+	for lo := 0; lo < total; {
+		hi := lo + 1
+		for hi < total && pairs[hi].sig == pairs[lo].sig {
+			hi++
 		}
+		groups = append(groups, span{lo, hi})
+		if hi-lo > largest {
+			largest = hi - lo
+		}
+		lo = hi
 	}
-	var outGroups [][]int
-	for _, g := range groupsBySig {
-		if len(g.parts) < p.Cfg.OutlierAbsSize &&
-			float64(len(g.parts)) < p.Cfg.OutlierRelSize*float64(largest) {
-			outGroups = append(outGroups, g.parts)
+	var outGroups []span
+	for _, g := range groups {
+		if n := g.hi - g.lo; n < p.Cfg.OutlierAbsSize &&
+			float64(n) < p.Cfg.OutlierRelSize*float64(largest) {
+			outGroups = append(outGroups, g)
 		}
 	}
 	sort.Slice(outGroups, func(a, b int) bool {
-		if len(outGroups[a]) != len(outGroups[b]) {
-			return len(outGroups[a]) < len(outGroups[b])
+		na, nb := outGroups[a].hi-outGroups[a].lo, outGroups[b].hi-outGroups[b].lo
+		if na != nb {
+			return na < nb
 		}
-		return outGroups[a][0] < outGroups[b][0]
+		return pairs[outGroups[a].lo].part < pairs[outGroups[b].lo].part
 	})
-	isOutlier := make(map[int]bool)
+	isOutlier := make([]bool, total)
 	for _, g := range outGroups {
-		for _, i := range g {
-			outliers = append(outliers, i)
-			isOutlier[i] = true
+		for _, pr := range pairs[g.lo:g.hi] {
+			outliers = append(outliers, pr.part)
+			isOutlier[pr.part] = true
 		}
 	}
 	for i := 0; i < total; i++ {
@@ -224,16 +412,64 @@ func (p *Picker) findOutliers(q *query.Query, total int) (outliers, rest []int) 
 
 // importanceGroups runs the funnel (Algorithm 2): candidates that pass more
 // regressors advance further. The result is ordered least → most important.
-func (p *Picker) importanceGroups(features [][]float64, candidates []int) [][]int {
+// All three evaluators visit the same rows in the same order and score with
+// bit-identical ensemble outputs, so grouping is evaluator-independent.
+func (p *Picker) importanceGroups(features [][]float64, candidates []int, ev funnelEval, sc *pickScratch) [][]int {
 	if p.Cfg.DisableRegressor || len(p.Regs) == 0 {
 		return [][]int{candidates}
 	}
 	groups := [][]int{candidates}
+	var rangeOf func(j int) (float64, float64, bool)
+	if ev == evalBatch && sc != nil {
+		if cap(sc.scorers) < len(p.Regs) {
+			sc.scorers = make([]gbt.BatchScorer, len(p.Regs))
+		}
+		// Per-feature value guarantees for scorer binding: masked slots are
+		// exactly zero in every row, selectivity slots lie in [0, 1] by
+		// construction, and every other slot equals its partition's base
+		// feature, bounded by the store's cached per-slot ranges.
+		baseLo, baseHi, baseOK := p.TS.BaseRanges()
+		upper, indep, minS, maxS := p.TS.Space.SelectivitySlots()
+		rangeOf = func(j int) (float64, float64, bool) {
+			if sc.masked[j] {
+				return 0, 0, true
+			}
+			if j == upper || j == indep || j == minS || j == maxS {
+				return 0, 1, true
+			}
+			return baseLo[j], baseHi[j], baseOK[j]
+		}
+	}
 	for stage, reg := range p.Regs {
 		last := groups[len(groups)-1]
+		var preds []float64
+		if ev == evalBatch && sc != nil {
+			// One batch-table sweep per stage over the advancing group: the
+			// gather slice only copies row headers (views into the scratch
+			// matrix), never feature values, and the stage scorer resolves
+			// every range-decidable condition at bind time.
+			sc.scorers = sc.scorers[:cap(sc.scorers)]
+			scorer := &sc.scorers[stage]
+			scorer.Bind(reg, rangeOf)
+			gather := sc.gather[:len(last)]
+			for k, i := range last {
+				gather[k] = features[i]
+			}
+			preds = sc.preds[:len(last)]
+			scorer.Predict(preds, gather)
+		}
 		var stay, advance []int
-		for _, i := range last {
-			if reg.Predict(features[i]) > p.Thresholds[stage] {
+		for k, i := range last {
+			var pred float64
+			switch {
+			case preds != nil:
+				pred = preds[k]
+			case ev == evalReference:
+				pred = reg.PredictReference(features[i])
+			default:
+				pred = reg.Predict(features[i])
+			}
+			if pred > p.Thresholds[stage] {
 				advance = append(advance, i)
 			} else {
 				stay = append(stay, i)
@@ -376,7 +612,11 @@ func randomSelect(group []int, ni int, rng *rand.Rand) []query.WeightedPartition
 }
 
 // clusterSelect clusters the group's feature vectors into ni clusters and
-// returns one weighted exemplar per cluster (§4.2).
+// returns one weighted exemplar per cluster (§4.2). This is the reference
+// implementation — full-width normalization, kind masking and active-column
+// compression as separate allocating passes — retained for training-time
+// feature selection and the equivalence baseline; the batched pick path
+// runs clusterSelectFast instead.
 func (p *Picker) clusterSelect(features [][]float64, group []int, ni int, excluded map[stats.Kind]bool, rng *rand.Rand) []query.WeightedPartition {
 	rows := make([][]float64, len(group))
 	for i, g := range group {
@@ -384,6 +624,66 @@ func (p *Picker) clusterSelect(features [][]float64, group []int, ni int, exclud
 	}
 	rows = maskKinds(p.TS.Space, rows, excluded)
 	rows = compressActive(rows)
+	asg := p.Cfg.clusterize(rows, ni, rng)
+	exs := p.Cfg.exemplars(rows, asg, rng)
+	out := make([]query.WeightedPartition, 0, len(exs))
+	for _, e := range exs {
+		out = append(out, query.WeightedPartition{Part: group[e.Point], Weight: e.Weight})
+	}
+	return out
+}
+
+// clusterSelectFast is clusterSelect fused into one scratch-backed pass. It
+// exploits two invariants of rows produced by a FeaturePlan: masked slots
+// are exactly zero in every row (so they can never be active), and every
+// non-selectivity slot equals the partition's base feature (so its
+// normalized value is a lookup in the precomputed TableStats.NormBase
+// matrix instead of a transform + division). The compact matrix it hands to
+// the clustering algorithm is bit-identical to the reference pipeline's:
+// active-slot detection on raw values matches detection on normalized
+// values because the transform is zero exactly at zero — and in the
+// underflow corner where a normalized value rounds to zero while its raw
+// value is not, the cached NormBase entry rounds identically, contributing
+// an all-zero column that no distance or median can observe.
+func (p *Picker) clusterSelectFast(features [][]float64, group []int, ni int, rng *rand.Rand, sc *pickScratch) []query.WeightedPartition {
+	m := p.TS.Space.Dim()
+	active := sc.active[:0]
+	for j := 0; j < m; j++ {
+		if sc.excluded[j] {
+			continue
+		}
+		for _, g := range group {
+			if features[g][j] != 0 {
+				active = append(active, int32(j))
+				break
+			}
+		}
+	}
+	sc.active = active
+	na := len(active)
+	if cap(sc.normBuf) < len(group)*na {
+		sc.normBuf = make([]float64, len(group)*na)
+	}
+	buf := sc.normBuf[:len(group)*na]
+	if cap(sc.normRows) < len(group) {
+		sc.normRows = make([][]float64, len(group))
+	}
+	rows := sc.normRows[:len(group)]
+	nb := p.TS.NormBase()
+	upper, indep, minS, maxS := p.TS.Space.SelectivitySlots()
+	for k, g := range group {
+		row := buf[k*na : (k+1)*na : (k+1)*na]
+		raw := features[g]
+		base := nb[g*m : (g+1)*m]
+		for a, j := range active {
+			if int(j) == upper || int(j) == indep || int(j) == minS || int(j) == maxS {
+				row[a] = p.TS.Space.NormalizeValue(int(j), raw[j])
+			} else {
+				row[a] = base[j]
+			}
+		}
+		rows[k] = row
+	}
 	asg := p.Cfg.clusterize(rows, ni, rng)
 	exs := p.Cfg.exemplars(rows, asg, rng)
 	out := make([]query.WeightedPartition, 0, len(exs))

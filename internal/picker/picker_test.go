@@ -24,7 +24,7 @@ type testEnv struct {
 // newTestEnv builds a table where partition importance is learnable: the
 // numeric column "v" is sorted so later partitions carry larger values, and
 // the categorical column "g" has a rare group confined to one partition.
-func newTestEnv(t *testing.T, parts, rowsPer int, cfg Config) *testEnv {
+func newTestEnv(t testing.TB, parts, rowsPer int, cfg Config) *testEnv {
 	t.Helper()
 	schema := table.MustSchema(
 		table.Column{Name: "v", Kind: table.Numeric, Positive: true},
@@ -387,7 +387,7 @@ func TestFunnelOrdersByContribution(t *testing.T) {
 				candidates = append(candidates, i)
 			}
 		}
-		groups := env.p.importanceGroups(ex.Features, candidates)
+		groups := env.p.importanceGroups(ex.Features, candidates, evalFlat, nil)
 		if len(groups) < 2 {
 			continue
 		}

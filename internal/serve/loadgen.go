@@ -19,14 +19,21 @@ type LoadReport struct {
 	AvgMs     float64
 	P50Ms     float64
 	P95Ms     float64
+	P99Ms     float64
 	MaxMs     float64
 	PartsRead int64
+	// AvgPickMs / AvgScanMs are the pick vs scan latency split of this
+	// run's own successful requests (summed from their responses), so a
+	// load run reports where its serving time went even when the server is
+	// handling other traffic concurrently.
+	AvgPickMs float64
+	AvgScanMs float64
 }
 
 // String renders the report for logs.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms max %.2fms, %d partition reads",
-		r.Requests, r.Failures, r.Duration.Round(time.Millisecond), r.QPS, r.AvgMs, r.P50Ms, r.P95Ms, r.MaxMs, r.PartsRead)
+	return fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (pick %.2fms scan %.2fms), %d partition reads",
+		r.Requests, r.Failures, r.Duration.Round(time.Millisecond), r.QPS, r.AvgMs, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.AvgPickMs, r.AvgScanMs, r.PartsRead)
 }
 
 // LoadGen drives total requests through the server from concurrency workers,
@@ -48,6 +55,8 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 		next     atomic.Int64
 		failures atomic.Int64
 		parts    atomic.Int64
+		pickUs   atomic.Int64
+		scanUs   atomic.Int64
 		wg       sync.WaitGroup
 	)
 	lats := make([][]time.Duration, concurrency)
@@ -70,6 +79,8 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 				}
 				mine = append(mine, time.Since(t0))
 				parts.Add(int64(resp.PartsRead))
+				pickUs.Add(int64(resp.PickMs * 1000))
+				scanUs.Add(int64(resp.ScanMs * 1000))
 			}
 			lats[w] = mine
 		}(w)
@@ -99,7 +110,14 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 		rep.AvgMs = float64(sum) / float64(len(all)) / float64(time.Millisecond)
 		rep.P50Ms = float64(all[len(all)/2]) / float64(time.Millisecond)
 		rep.P95Ms = float64(all[len(all)*95/100]) / float64(time.Millisecond)
+		rep.P99Ms = float64(all[len(all)*99/100]) / float64(time.Millisecond)
 		rep.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	// Pick vs scan split over this run, summed from this run's own
+	// responses so concurrent foreign traffic is never attributed to it.
+	if ok := int64(total) - failures.Load(); ok > 0 {
+		rep.AvgPickMs = float64(pickUs.Load()) / 1000 / float64(ok)
+		rep.AvgScanMs = float64(scanUs.Load()) / 1000 / float64(ok)
 	}
 	return rep, nil
 }

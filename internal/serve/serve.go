@@ -86,6 +86,8 @@ type Server struct {
 	inFlight    atomic.Int64
 	latencyNs   atomic.Int64
 	maxLatency  atomic.Int64
+	pickNs      atomic.Int64
+	scanNs      atomic.Int64
 }
 
 // cacheEntry is one LRU slot.
@@ -124,6 +126,10 @@ type Response struct {
 	FracRead  float64  `json:"frac_read"`
 	Cached    bool     `json:"cached"`
 	LatencyMs float64  `json:"latency_ms"`
+	// PickMs / ScanMs split the request's latency into partition selection
+	// and the weighted partition scan.
+	PickMs float64 `json:"pick_ms"`
+	ScanMs float64 `json:"scan_ms"`
 }
 
 // Group is one group's aggregate values under its human-readable label.
@@ -180,6 +186,8 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 	s.latencyNs.Add(int64(lat))
 	updateMax(&s.maxLatency, int64(lat))
 	s.partsRead.Add(int64(res.PartsRead))
+	s.pickNs.Add(int64(res.PickTime))
+	s.scanNs.Add(int64(res.ScanTime))
 
 	resp := &Response{
 		Query:     q.String(),
@@ -188,6 +196,8 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 		FracRead:  res.FracRead,
 		Cached:    cached,
 		LatencyMs: float64(lat) / float64(time.Millisecond),
+		PickMs:    float64(res.PickTime) / float64(time.Millisecond),
+		ScanMs:    float64(res.ScanTime) / float64(time.Millisecond),
 	}
 	for _, a := range q.Aggs {
 		resp.Aggs = append(resp.Aggs, a.String())
@@ -254,6 +264,14 @@ type Metrics struct {
 	InFlight     int64   `json:"in_flight"`
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
 	MaxLatencyMs float64 `json:"max_latency_ms"`
+	// AvgPickMs / AvgScanMs split the served latency into partition
+	// selection (the learned picker's batched inference) and the weighted
+	// partition scans, per successful request; PickFrac is pick time as a
+	// share of pick+scan. Compiled-query cache hits make the remainder
+	// (request latency minus pick minus scan) essentially transport.
+	AvgPickMs float64 `json:"avg_pick_ms"`
+	AvgScanMs float64 `json:"avg_scan_ms"`
+	PickFrac  float64 `json:"pick_frac"`
 	// Store carries the partition-cache counters when the system serves
 	// from a paged store (nil on fully-resident systems): physical loads,
 	// hits, evictions, and resident bytes vs budget.
@@ -271,8 +289,14 @@ func (s *Server) Stats() Metrics {
 		PartsRead:   s.partsRead.Load(),
 		InFlight:    s.inFlight.Load(),
 	}
+	pickNs, scanNs := s.pickNs.Load(), s.scanNs.Load()
 	if ok := m.Requests - m.Failures; ok > 0 {
 		m.AvgLatencyMs = float64(s.latencyNs.Load()) / float64(ok) / float64(time.Millisecond)
+		m.AvgPickMs = float64(pickNs) / float64(ok) / float64(time.Millisecond)
+		m.AvgScanMs = float64(scanNs) / float64(ok) / float64(time.Millisecond)
+	}
+	if total := pickNs + scanNs; total > 0 {
+		m.PickFrac = float64(pickNs) / float64(total)
 	}
 	m.MaxLatencyMs = float64(s.maxLatency.Load()) / float64(time.Millisecond)
 	if cs, ok := s.sys.Source.(interface{ CacheStats() store.CacheStats }); ok {

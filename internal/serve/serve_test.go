@@ -545,6 +545,37 @@ func TestLoadGen(t *testing.T) {
 	}
 }
 
+// TestLoadGenPercentilesAndBreakdown checks the latency percentile ladder
+// and the pick-vs-scan latency split the load generator and /stats report.
+func TestLoadGenPercentilesAndBreakdown(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.LoadGen(queries[:4], 0.1, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P95Ms || rep.P95Ms > rep.P99Ms || rep.P99Ms > rep.MaxMs {
+		t.Fatalf("percentile ladder broken: p50 %.3f p95 %.3f p99 %.3f max %.3f",
+			rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+	}
+	if rep.AvgPickMs <= 0 || rep.AvgScanMs <= 0 {
+		t.Fatalf("pick/scan breakdown missing from load report: %+v", rep)
+	}
+	m := srv.Stats()
+	if m.AvgPickMs <= 0 || m.AvgScanMs <= 0 {
+		t.Fatalf("pick/scan breakdown missing from /stats metrics: %+v", m)
+	}
+	if m.PickFrac <= 0 || m.PickFrac >= 1 {
+		t.Fatalf("PickFrac = %v, want in (0, 1)", m.PickFrac)
+	}
+	if m.AvgPickMs+m.AvgScanMs > m.AvgLatencyMs+0.5 {
+		t.Fatalf("pick %.3fms + scan %.3fms exceeds avg latency %.3fms", m.AvgPickMs, m.AvgScanMs, m.AvgLatencyMs)
+	}
+}
+
 // BenchmarkServeThroughput measures sustained concurrent serving throughput
 // over a restored snapshot (make serve-bench records this).
 func BenchmarkServeThroughput(b *testing.B) {

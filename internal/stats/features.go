@@ -179,12 +179,13 @@ func (fs *FeatureSpace) SelectivitySlots() (upper, indep, minS, maxS int) {
 }
 
 // buildBaseMatrix precomputes the query-independent features of every
-// partition (selectivity slots left at zero).
-func (ts *TableStats) buildBaseMatrix() [][]float64 {
+// partition (selectivity slots left at zero) into one contiguous row-major
+// matrix.
+func (ts *TableStats) buildBaseMatrix() []float64 {
 	m := ts.Space.Dim()
-	out := make([][]float64, len(ts.Parts))
+	out := make([]float64, len(ts.Parts)*m)
 	for i, ps := range ts.Parts {
-		v := make([]float64, m)
+		v := out[i*m : (i+1)*m]
 		for ci := range ts.Schema.Cols {
 			off := ts.Space.colSlots[ci]
 			cs := &ps.Cols[ci]
@@ -224,7 +225,6 @@ func (ts *TableStats) buildBaseMatrix() [][]float64 {
 				}
 			}
 		}
-		out[i] = v
 	}
 	return out
 }
@@ -232,7 +232,10 @@ func (ts *TableStats) buildBaseMatrix() [][]float64 {
 // Features builds the N×M feature matrix for query q: the precomputed base
 // features with the query-dependent column mask applied (features of unused
 // columns zeroed, §3.2) and the four per-partition selectivity estimates
-// filled in.
+// filled in. This is the reference featurizer — one fresh slice per
+// partition, the per-partition selectivity estimator — kept as the
+// implementation FeaturePlan is equivalence-tested against; hot paths build
+// a FeaturePlan once per query and fill pooled scratch rows instead.
 func (ts *TableStats) Features(q *query.Query) [][]float64 {
 	used := make(map[int]bool)
 	for _, name := range q.Columns() {
@@ -245,7 +248,7 @@ func (ts *TableStats) Features(q *query.Query) [][]float64 {
 	est := newSelEstimator(ts, q.Pred)
 	for i, ps := range ts.Parts {
 		v := make([]float64, m)
-		copy(v, ts.base[i])
+		copy(v, ts.base[i*m:(i+1)*m])
 		// Mask features of unused columns.
 		for j, meta := range ts.Space.Meta {
 			if meta.Col >= 0 && !used[meta.Col] {
@@ -257,6 +260,76 @@ func (ts *TableStats) Features(q *query.Query) [][]float64 {
 		out[i] = v
 	}
 	return out
+}
+
+// FeaturePlan is the query-compiled featurizer: the query-static work of
+// Features — column-mask resolution and predicate analysis (selprogram.go)
+// — done once, leaving FillRow with only the partition-varying work: one
+// base-row copy, a masked-slot sweep, and the four selectivity estimates.
+// FillRow performs zero allocations and produces rows bit-identical to
+// Features(q), so callers can featurize into reusable scratch matrices. A
+// plan is immutable after construction and safe for concurrent FillRow calls
+// from multiple workers.
+type FeaturePlan struct {
+	ts *TableStats
+	// maskSlots lists the feature slots zeroed because their column is not
+	// used by the query; keepSlots the complement (minus the selectivity
+	// slots, which are always overwritten). FillRow uses whichever set is
+	// smaller.
+	maskSlots []int32
+	keepSlots []int32
+	prog      *selProgram
+}
+
+// NewFeaturePlan compiles q's featurization against the store.
+func (ts *TableStats) NewFeaturePlan(q *query.Query) *FeaturePlan {
+	used := make(map[int]bool)
+	for _, name := range q.Columns() {
+		if ci := ts.Schema.ColIndex(name); ci >= 0 {
+			used[ci] = true
+		}
+	}
+	p := &FeaturePlan{ts: ts, prog: ts.compileSel(q.Pred)}
+	for j, meta := range ts.Space.Meta {
+		if meta.Col >= 0 && !used[meta.Col] {
+			p.maskSlots = append(p.maskSlots, int32(j))
+		} else if j >= 4 {
+			p.keepSlots = append(p.keepSlots, int32(j))
+		}
+	}
+	return p
+}
+
+// Dim returns the feature dimension M.
+func (p *FeaturePlan) Dim() int { return p.ts.Space.Dim() }
+
+// MaskSlots returns the feature slots this plan zeroes (features of columns
+// the query does not use); every filled row holds exactly zero there. The
+// slice aliases plan state; callers must not mutate it.
+func (p *FeaturePlan) MaskSlots() []int32 { return p.maskSlots }
+
+// NumParts returns the partition count N.
+func (p *FeaturePlan) NumParts() int { return len(p.ts.Parts) }
+
+// FillRow writes partition part's feature vector into dst (which must have
+// length ≥ Dim()); the result is bit-identical to Features(q)[part].
+func (p *FeaturePlan) FillRow(dst []float64, part int) {
+	m := p.ts.Space.Dim()
+	base := p.ts.base[part*m : (part+1)*m]
+	if len(p.keepSlots) < len(p.maskSlots) {
+		// Mostly-masked query: clear the row and copy only the kept slots.
+		clear(dst[:m])
+		for _, j := range p.keepSlots {
+			dst[j] = base[j]
+		}
+	} else {
+		copy(dst[:m], base)
+		for _, j := range p.maskSlots {
+			dst[j] = 0
+		}
+	}
+	upper, indep, minS, maxS := p.prog.estimate(p.ts.Parts[part])
+	dst[0], dst[1], dst[2], dst[3] = upper, indep, minS, maxS
 }
 
 // Fit computes normalization divisors from a training feature sample
@@ -303,6 +376,17 @@ func (fs *FeatureSpace) transform(j int, x float64) float64 {
 		return math.Log1p(x)
 	}
 	return -math.Log1p(-x)
+}
+
+// NormalizeValue normalizes one feature slot: transform(j, x) divided by the
+// fitted scale (unit scale before Fit). Normalize(row)[j] ==
+// NormalizeValue(j, row[j]) bit for bit.
+func (fs *FeatureSpace) NormalizeValue(j int, x float64) float64 {
+	v := fs.transform(j, x)
+	if fs.Scale != nil {
+		v /= fs.Scale[j]
+	}
+	return v
 }
 
 // Normalize maps a raw feature vector into normalized space using the fitted

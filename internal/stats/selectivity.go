@@ -239,7 +239,7 @@ func (se *selEstimator) clauseSel(c *query.Clause, ps *PartitionStats) float64 {
 	// Categorical clause: sum per-value frequencies.
 	var sum float64
 	for _, v := range c.Strs {
-		sum += se.catValueFreq(ci, cs, v)
+		sum += se.catValueFreq(cs, v)
 	}
 	sum = clamp01(sum)
 	if c.Op == query.OpNe {
@@ -248,27 +248,15 @@ func (se *selEstimator) clauseSel(c *query.Clause, ps *PartitionStats) float64 {
 	return sum
 }
 
-// catValueFreq estimates the fraction of partition rows equal to value v in
-// categorical column ci: exact dictionary first, then heavy hitters, then a
-// 1/ndv fallback that never returns 0 (preserving the perfect recall of
-// selectivity_upper).
-func (se *selEstimator) catValueFreq(ci int, cs *ColumnStats, v string) float64 {
+// catValueFreq estimates the fraction of partition rows equal to value v:
+// dictionary lookup, then the shared per-partition frequency chain
+// (catCodeFreq in selprogram.go) used by both the reference estimator and
+// the compiled program.
+func (se *selEstimator) catValueFreq(cs *ColumnStats, v string) float64 {
 	code, ok := se.ts.Dict.Lookup(v)
 	if !ok {
 		// Value does not exist anywhere in the table.
 		return 0
 	}
-	if f, ok := cs.Dict.Freq(code); ok {
-		return f
-	}
-	for _, item := range cs.HH.Items() {
-		if item.ID == uint64(code) {
-			return item.Freq
-		}
-	}
-	ndv := cs.AKMV.DistinctEstimate()
-	if ndv < 1 {
-		ndv = 1
-	}
-	return 1 / ndv
+	return catCodeFreq(cs, code)
 }

@@ -89,9 +89,101 @@ type TableStats struct {
 	GlobalHH map[int][]uint32
 	// Space describes the feature vector layout.
 	Space *FeatureSpace
-	// base is the precomputed query-independent feature matrix (N×M);
-	// selectivity slots are zero and filled per query.
-	base [][]float64
+	// base is the precomputed query-independent feature matrix, stored
+	// row-major (partition i's features at [i*M, (i+1)*M)); selectivity
+	// slots are zero and filled per query. Built once at Build/ReadStats
+	// time, it is the query-static half of featurization: Features and
+	// FeaturePlan.FillRow only copy it and fill the query-dependent slots.
+	base []float64
+
+	// normMu guards the lazily built caches below (normalized base matrix,
+	// per-slot base ranges).
+	normMu sync.Mutex
+	// normBase is base with the fitted normalization applied elementwise —
+	// the query-independent part of FeatureSpace.Normalize, cached so
+	// cluster preparation copies precomputed values instead of re-running
+	// transform()/Scale division per pick. Rebuilt if the Scale it was
+	// computed under changes (Fit runs once per training).
+	normBase      []float64
+	normBaseScale []float64
+	// baseLo/baseHi/baseRangeOK hold per-slot min/max over the base matrix
+	// (query-independent); baseRangeOK[j] is false when slot j holds a NaN
+	// anywhere. Used to pre-decide ensemble split conditions at pick time.
+	baseLo, baseHi []float64
+	baseRangeOK    []bool
+}
+
+// BaseRanges returns per-slot (min, max, ok) over the query-independent
+// base feature matrix: every unmasked non-selectivity feature value of
+// every partition row lies inside [min[j], max[j]] whenever ok[j]. The
+// slices alias a lazily built cache; callers must not mutate them. Safe for
+// concurrent use.
+func (ts *TableStats) BaseRanges() (lo, hi []float64, ok []bool) {
+	m := ts.Space.Dim()
+	ts.normMu.Lock()
+	if ts.baseLo == nil {
+		ts.baseLo = make([]float64, m)
+		ts.baseHi = make([]float64, m)
+		ts.baseRangeOK = make([]bool, m)
+		for j := 0; j < m; j++ {
+			ts.baseLo[j] = math.Inf(1)
+			ts.baseHi[j] = math.Inf(-1)
+			ts.baseRangeOK[j] = len(ts.Parts) > 0
+		}
+		for p := 0; p < len(ts.Parts); p++ {
+			row := ts.base[p*m : (p+1)*m]
+			for j, x := range row {
+				if math.IsNaN(x) {
+					ts.baseRangeOK[j] = false
+					continue
+				}
+				if x < ts.baseLo[j] {
+					ts.baseLo[j] = x
+				}
+				if x > ts.baseHi[j] {
+					ts.baseHi[j] = x
+				}
+			}
+		}
+	}
+	lo, hi, ok = ts.baseLo, ts.baseHi, ts.baseRangeOK
+	ts.normMu.Unlock()
+	return lo, hi, ok
+}
+
+// NormBase returns the normalized query-independent feature matrix,
+// row-major with stride Dim(): partition i's row is exactly
+// FeatureSpace.Normalize of its base row, precomputed once per fitted
+// scale. Entries at the selectivity slots are the normalization of zero and
+// must be recomputed by callers from per-query values. The returned slice
+// aliases the cache; callers must not mutate it. Safe for concurrent use.
+func (ts *TableStats) NormBase() []float64 {
+	m := ts.Space.Dim()
+	ts.normMu.Lock()
+	if ts.normBase == nil || !sameScale(ts.normBaseScale, ts.Space.Scale) {
+		nb := make([]float64, len(ts.base))
+		for p := 0; p < len(ts.Parts); p++ {
+			row := ts.base[p*m : (p+1)*m]
+			out := nb[p*m : (p+1)*m]
+			for j, x := range row {
+				out[j] = ts.Space.NormalizeValue(j, x)
+			}
+		}
+		ts.normBase = nb
+		ts.normBaseScale = ts.Space.Scale
+	}
+	nb := ts.normBase
+	ts.normMu.Unlock()
+	return nb
+}
+
+// sameScale reports whether two scale slices are the same fitted scale
+// (identity comparison: Fit replaces the slice wholesale).
+func sameScale(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
 }
 
 // Build constructs all sketches for every partition of t, derives global

@@ -15,7 +15,7 @@ import (
 // (partition i holds values centered at i*10), one positive numeric column
 // "y", and one categorical column "cat" whose value distribution varies per
 // partition: partition 0 holds only "rare"; the rest mix "a" and "b".
-func buildTestTable(t *testing.T, parts, rowsPer int) *table.Table {
+func buildTestTable(t testing.TB, parts, rowsPer int) *table.Table {
 	t.Helper()
 	schema := table.MustSchema(
 		table.Column{Name: "x", Kind: table.Numeric},
@@ -45,7 +45,7 @@ func buildTestTable(t *testing.T, parts, rowsPer int) *table.Table {
 	return b.Finish()
 }
 
-func buildStats(t *testing.T, tbl *table.Table) *TableStats {
+func buildStats(t testing.TB, tbl *table.Table) *TableStats {
 	t.Helper()
 	ts, err := Build(tbl, Options{GroupableCols: []string{"cat"}})
 	if err != nil {

@@ -234,7 +234,12 @@ func MustParseSQL(src string) *Query { return sqlparse.MustParse(src) }
 // --- System facade (internal/core) ---
 
 // System is a PS3 instance bound to one table and workload: statistics
-// builder + trained partition picker + weighted executor.
+// builder + trained partition picker + weighted executor. Partition picking
+// runs on a batched inference path: per-query features fill a pooled
+// row-major scratch matrix (in parallel across partition blocks) and the
+// learned funnel evaluates whole partition batches on flat struct-of-arrays
+// tree ensembles — bit-identical to the retained reference pipeline, several
+// times faster, and allocation-free per partition.
 type System = core.System
 
 // Options configures a System. Options.Parallelism bounds the worker
@@ -243,7 +248,10 @@ type System = core.System
 // answers are bit-identical at every setting.
 type Options = core.Options
 
-// Result is the outcome of an approximate query execution.
+// Result is the outcome of an approximate query execution. Its PickTime and
+// ScanTime fields split the latency between partition selection and the
+// weighted scan; the serving layer aggregates the same split into its
+// /stats metrics.
 type Result = core.Result
 
 // Open builds the summary statistics for t (the offline "stats builder"
@@ -278,7 +286,10 @@ type Server = serve.Server
 // ServeConfig tunes a Server (default budget, cache size, max in-flight).
 type ServeConfig = serve.Config
 
-// ServeMetrics is a point-in-time snapshot of a Server's counters.
+// ServeMetrics is a point-in-time snapshot of a Server's counters,
+// including the pick-time vs scan-time latency breakdown (AvgPickMs,
+// AvgScanMs, PickFrac) and, on store-backed systems, partition-cache
+// counters.
 type ServeMetrics = serve.Metrics
 
 // NewServer returns a serving layer over a trained (typically
