@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec bench-store bench-pick bench-pick-smoke serve-bench vet fmt-check verify
+.PHONY: build test race race-serve bench bench-exec bench-store bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke serve-bench vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,26 @@ bench-pick:
 bench-pick-smoke:
 	$(GO) test -run 'ZeroAllocs' -v ./internal/picker/ ./internal/gbt/ ./internal/stats/
 	$(GO) test -bench 'BenchmarkPick|BenchmarkPredictBatch' -benchtime 1x -run '^$$' ./internal/picker/ ./internal/gbt/
+
+# Clustering tail: triangle-inequality-bounded k-means vs the frozen exact
+# reference, isolated (BenchmarkKMeans, with the skipped-distance fraction
+# reported as a metric) and inside the full pick path at the budget where
+# the tail dominates (BenchmarkPick/budget10pct). The raw output is rendered
+# into BENCH_cluster.json, including the derived reference/bounded and
+# reference/batch speedups.
+bench-cluster:
+	$(GO) test -bench 'BenchmarkKMeans' -benchmem -benchtime 2s -run '^$$' ./internal/cluster/ | tee bench_cluster_raw.txt
+	$(GO) test -bench 'BenchmarkPick/budget10pct' -benchtime 2s -run '^$$' ./internal/picker/ | tee -a bench_cluster_raw.txt
+	awk -v date=$$(date +%F) -v gover=$$($(GO) env GOVERSION) -f scripts/bench_cluster_json.awk bench_cluster_raw.txt > BENCH_cluster.json
+	@rm -f bench_cluster_raw.txt
+	@cat BENCH_cluster.json
+
+# One-iteration smoke of the clustering benchmarks plus the skip-fraction
+# and equivalence contracts; wired into CI next to bench-pick-smoke so the
+# bounded k-means fixtures and counters can never rot.
+bench-cluster-smoke:
+	$(GO) test -run 'TestKMeansBounded|TestPickBatchKMeansSkipsDistances' -v ./internal/cluster/ ./internal/picker/
+	$(GO) test -bench 'BenchmarkKMeans' -benchtime 1x -run '^$$' ./internal/cluster/
 
 # Sustained concurrent serving throughput over a restored snapshot.
 serve-bench:

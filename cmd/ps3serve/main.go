@@ -42,11 +42,15 @@ func main() {
 		cacheBytes = flag.Int64("cachebytes", 0, "partition cache budget in bytes for store-format tables (0 = default 256 MiB, negative = unbounded)")
 		inflight   = flag.Int("maxinflight", 0, "max concurrent partition scans (0 = 2×GOMAXPROCS)")
 
+		pickCache = flag.Int("pickcache", 0, "pick-result cache entries (0 = default 512, negative = disabled)")
+
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of listening")
 		queries = flag.Int("queries", 20, "loadgen: distinct workload queries to cycle over")
 		reqs    = flag.Int("requests", 1000, "loadgen: total requests")
 		conc    = flag.Int("concurrency", 8, "loadgen: concurrent client workers")
 		seed    = flag.Int64("seed", 99, "loadgen: query sampling seed")
+		traffic = flag.String("traffic", "roundrobin", "loadgen: traffic shape over the query pool: roundrobin or zipf")
+		zipfS   = flag.Float64("zipf-s", 1.3, "loadgen: Zipf exponent for -traffic=zipf (must be > 1; larger = hotter head)")
 	)
 	flag.Parse()
 	if *tblPath == "" || *snapPath == "" {
@@ -70,7 +74,7 @@ func main() {
 	if err := sf.Close(); err != nil {
 		fatal(err)
 	}
-	srv, err := serve.New(sys, serve.Config{DefaultBudget: *budget, CacheSize: *cache, MaxInFlight: *inflight})
+	srv, err := serve.New(sys, serve.Config{DefaultBudget: *budget, CacheSize: *cache, PickCacheSize: *pickCache, MaxInFlight: *inflight})
 	if err != nil {
 		fatal(err)
 	}
@@ -94,15 +98,27 @@ func main() {
 		if ot.Reader != nil {
 			base = ot.Reader.CacheStats()
 		}
-		fmt.Printf("loadgen: %d requests over %d queries, %d workers, budget %.2f\n",
-			*reqs, len(qs), *conc, *budget)
-		rep, err := srv.LoadGen(qs, *budget, *conc, *reqs)
+		fmt.Printf("loadgen: %d requests over %d queries (%s traffic), %d workers, budget %.2f\n",
+			*reqs, len(qs), *traffic, *conc, *budget)
+		var rep serve.LoadReport
+		switch *traffic {
+		case "roundrobin":
+			rep, err = srv.LoadGen(qs, *budget, *conc, *reqs)
+		case "zipf":
+			rep, err = srv.LoadGenZipf(qs, *budget, *conc, *reqs, *zipfS, *seed)
+		default:
+			err = fmt.Errorf("unknown -traffic %q (want roundrobin or zipf)", *traffic)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(rep)
 		m := srv.Stats()
 		fmt.Printf("query cache: %d hits / %d misses (%d entries)\n", m.CacheHits, m.CacheMisses, m.CacheLen)
+		if m.PickCache != nil {
+			fmt.Printf("pick cache: %d hits / %d misses / %d evictions (%d entries, avg hit age %.0fms)\n",
+				m.PickCache.Hits, m.PickCache.Misses, m.PickCache.Evictions, m.PickCache.Entries, m.PickCache.AvgHitAgeMs)
+		}
 		if m.Store != nil {
 			fmt.Printf("partition cache: %d hits / %d misses / %d evictions, %s faulted in, %s resident (budget %s)\n",
 				m.Store.Hits-base.Hits, m.Store.Misses-base.Misses, m.Store.Evictions-base.Evictions,

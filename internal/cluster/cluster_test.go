@@ -231,7 +231,8 @@ func TestMedianExemplarIsClosestToMedian(t *testing.T) {
 
 func TestMedianVectorEvenCount(t *testing.T) {
 	points := [][]float64{{1, 10}, {3, 20}, {5, 30}, {7, 40}}
-	med := medianVector(points, []int{0, 1, 2, 3})
+	med := make([]float64, 2)
+	medianVector(points, []int{0, 1, 2, 3}, med, make([]float64, 4))
 	want := []float64{4, 25}
 	if !reflect.DeepEqual(med, want) {
 		t.Fatalf("median = %v, want %v", med, want)

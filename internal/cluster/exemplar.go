@@ -2,7 +2,7 @@ package cluster
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Exemplar is one selected representative: the index of the chosen point and
@@ -12,39 +12,59 @@ type Exemplar struct {
 	Weight float64
 }
 
-// medianVector computes the coordinate-wise median of the given points.
-func medianVector(points [][]float64, members []int) []float64 {
-	if len(members) == 0 {
-		return nil
-	}
-	dim := len(points[members[0]])
-	med := make([]float64, dim)
-	col := make([]float64, len(members))
-	for j := 0; j < dim; j++ {
+// medianVector computes the coordinate-wise median of the given points into
+// med, using col (len ≥ len(members)) as sorting scratch.
+func medianVector(points [][]float64, members []int, med, col []float64) {
+	for j := range med {
+		c := col[:len(members)]
 		for i, m := range members {
-			col[i] = points[m][j]
+			c[i] = points[m][j]
 		}
-		sort.Float64s(col)
-		n := len(col)
+		slices.Sort(c)
+		n := len(c)
 		if n%2 == 1 {
-			med[j] = col[n/2]
+			med[j] = c[n/2]
 		} else {
-			med[j] = (col[n/2-1] + col[n/2]) / 2
+			med[j] = (c[n/2-1] + c[n/2]) / 2
 		}
 	}
-	return med
 }
 
 // MedianExemplars picks, for each cluster, the member closest to the
 // cluster's median feature vector — the paper's (biased, zero-variance)
-// estimator. Weights equal cluster sizes.
+// estimator. Weights equal cluster sizes. Cluster membership is gathered by
+// a counting pass into one backing array, and the median/sort scratch is
+// shared across clusters, so the only retained allocation is the result.
 func MedianExemplars(points [][]float64, a Assignment) []Exemplar {
-	var out []Exemplar
-	for _, members := range a.Members() {
+	n := len(a.Labels)
+	if n == 0 {
+		return nil
+	}
+	// Counting-sort members by cluster: starts[c] marks each cluster's
+	// segment in the shared index array.
+	counts := make([]int, a.K+1)
+	for _, l := range a.Labels {
+		counts[l+1]++
+	}
+	for c := 1; c <= a.K; c++ {
+		counts[c] += counts[c-1]
+	}
+	idx := make([]int, n)
+	next := make([]int, a.K)
+	for i, l := range a.Labels {
+		idx[counts[l]+next[l]] = i
+		next[l]++
+	}
+	dim := len(points[0])
+	scratch := make([]float64, dim+n)
+	med, col := scratch[:dim], scratch[dim:]
+	out := make([]Exemplar, 0, a.K)
+	for c := 0; c < a.K; c++ {
+		members := idx[counts[c]:counts[c+1]]
 		if len(members) == 0 {
 			continue
 		}
-		med := medianVector(points, members)
+		medianVector(points, members, med, col)
 		best, bestD := members[0], sqDist(points[members[0]], med)
 		for _, m := range members[1:] {
 			if d := sqDistBounded(points[m], med, bestD); d < bestD {

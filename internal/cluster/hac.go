@@ -34,7 +34,7 @@ func HAC(points [][]float64, k int, linkage Linkage) Assignment {
 		k = n
 	}
 	if n == 0 || k <= 0 {
-		return Assignment{Labels: make([]int, n), K: maxInt(k, 1)}
+		return Assignment{Labels: make([]int, n), K: max(k, 1)}
 	}
 	// dist holds current inter-cluster distances; active marks live
 	// clusters; size their cardinalities.
@@ -107,8 +107,8 @@ func HAC(points [][]float64, k int, linkage Linkage) Assignment {
 		clusters--
 		for x := 0; x < n; x++ {
 			if active[x] && x != a {
-				heap.Push(pq, pairItem{d: dist[a][x], a: minInt(a, x), b: maxInt(a, x),
-					va: versionOf(version, minInt(a, x)), vb: versionOf(version, maxInt(a, x))})
+				heap.Push(pq, pairItem{d: dist[a][x], a: min(a, x), b: max(a, x),
+					va: versionOf(version, min(a, x)), vb: versionOf(version, max(a, x))})
 			}
 		}
 	}
@@ -136,13 +136,6 @@ func HAC(points [][]float64, k int, linkage Linkage) Assignment {
 }
 
 func versionOf(v []int, i int) int { return v[i] }
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 // pairItem is a candidate merge with version stamps for lazy invalidation.
 type pairItem struct {

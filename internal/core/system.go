@@ -224,10 +224,25 @@ func (s *System) Pick(q *query.Query, budgetFrac float64) ([]query.WeightedParti
 // PickWithStats is Pick with the picker's timing breakdown (total,
 // featurization, clustering) for latency accounting.
 func (s *System) PickWithStats(q *query.Query, budgetFrac float64) ([]query.WeightedPartition, picker.PickStats, error) {
+	return s.PickParts(q, s.PartsForBudget(budgetFrac))
+}
+
+// PartsForBudget resolves a fractional budget to the partition count Pick
+// reads (≥1, ≤ the partition count). The serve layer keys its pick-result
+// cache on this resolved count, so budgets that round to the same count
+// share cache entries.
+func (s *System) PartsForBudget(frac float64) int {
+	return budgetParts(frac, s.Source.NumParts())
+}
+
+// PickParts is Pick for an already-resolved partition count. The randomness
+// stream depends only on the system seed and the query text (pickRNG), so
+// repeated calls with equal arguments return identical selections — which is
+// what makes pick results cacheable.
+func (s *System) PickParts(q *query.Query, n int) ([]query.WeightedPartition, picker.PickStats, error) {
 	if s.Picker == nil {
 		return nil, picker.PickStats{}, fmt.Errorf("core: system is not trained; call Train first")
 	}
-	n := budgetParts(budgetFrac, s.Source.NumParts())
 	sel, st := s.Picker.PickBatchWithStats(q, n, s.pickRNG(q), s.Opts.execOpts())
 	return sel, st, nil
 }
@@ -288,6 +303,20 @@ func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	res, err := s.RunSelection(c, sel)
+	if err != nil {
+		return nil, err
+	}
+	res.PickTime = pickStats.Total
+	return res, nil
+}
+
+// RunSelection scans an already-picked weighted partition sample and combines
+// the partial answers — the second half of RunCompiled. The serve layer calls
+// it directly when its pick-result cache already holds the selection for
+// (query, budget), skipping partition selection entirely. The selection is
+// read, never mutated. PickTime is zero: no picking happened here.
+func (s *System) RunSelection(c *query.Compiled, sel []query.WeightedPartition) (*Result, error) {
 	scanStart := time.Now()
 	ans, err := c.Estimate(s.Source, sel)
 	if err != nil {
@@ -304,7 +333,6 @@ func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, er
 		Selection: sel,
 		PartsRead: len(sel),
 		FracRead:  float64(len(sel)) / float64(s.Source.NumParts()),
-		PickTime:  pickStats.Total,
 		ScanTime:  time.Since(scanStart),
 	}, nil
 }

@@ -35,7 +35,7 @@ func Aria(cfg Config) (*Dataset, error) {
 	)
 	idx := func(name string) int { return schema.ColIndex(name) }
 
-	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	b, err := table.NewBuilder(schema, max(cfg.Rows/cfg.Parts, 1))
 	if err != nil {
 		return nil, err
 	}

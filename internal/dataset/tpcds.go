@@ -55,7 +55,7 @@ func TPCDSStar(cfg Config) (*Dataset, error) {
 	)
 	idx := func(name string) int { return schema.ColIndex(name) }
 
-	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	b, err := table.NewBuilder(schema, max(cfg.Rows/cfg.Parts, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func TPCDSStar(cfg Config) (*Dataset, error) {
 	credit := []string{"Low Risk", "Good", "High Risk", "Unknown"}
 	dayNames := []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
 
-	nItems := maxI(cfg.Rows/60, 120)
+	nItems := max(cfg.Rows/60, 120)
 	itemZ := newZipfer(rng, nItems)
 	nPromos := 300
 	promoZ := newZipfer(rng, nPromos)

@@ -52,7 +52,7 @@ func TPCHStar(cfg Config) (*Dataset, error) {
 	)
 	idx := func(name string) int { return schema.ColIndex(name) }
 
-	b, err := table.NewBuilder(schema, maxI(cfg.Rows/cfg.Parts, 1))
+	b, err := table.NewBuilder(schema, max(cfg.Rows/cfg.Parts, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -86,9 +86,9 @@ func TPCHStar(cfg Config) (*Dataset, error) {
 	}
 
 	// Zipf-skewed latent entities: parts, suppliers, customers.
-	nParts := maxI(cfg.Rows/50, 100)
+	nParts := max(cfg.Rows/50, 100)
 	partZ := newZipfer(rng, nParts)
-	nCust := maxI(cfg.Rows/100, 50)
+	nCust := max(cfg.Rows/100, 50)
 	custZ := newZipfer(rng, nCust)
 
 	const days = 7 * 365 // 1992-01-01 .. 1998-12-31, like TPC-H
@@ -192,7 +192,7 @@ func TPCHStar(cfg Config) (*Dataset, error) {
 	return finish(d, cfg, b)
 }
 
-func maxI(a, b int) int {
+func max(a, b int) int {
 	if a > b {
 		return a
 	}

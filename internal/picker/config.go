@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"ps3/internal/cluster"
+	"ps3/internal/exec"
 	"ps3/internal/stats"
 )
 
@@ -116,15 +117,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// clusterize runs the configured clustering algorithm.
-func (c Config) clusterize(points [][]float64, k int, rng *rand.Rand) cluster.Assignment {
+// clusterize runs the configured clustering algorithm on the production
+// path: triangle-inequality-bounded k-means with the scan engine's
+// parallelism threaded into its assignment sweeps and distance-work
+// counters accumulated into st (when non-nil). The HAC algorithms have no
+// bounded variant and ignore both.
+func (c Config) clusterize(points [][]float64, k int, rng *rand.Rand, eo exec.Options, st *cluster.KMeansStats) cluster.Assignment {
 	switch c.Algo {
 	case AlgoHACWard:
 		return cluster.HAC(points, k, cluster.Ward)
 	case AlgoHACSingle:
 		return cluster.HAC(points, k, cluster.Single)
 	default:
-		return cluster.KMeans(points, k, rng, 0)
+		return cluster.KMeansBounded(points, k, rng, cluster.KMeansOpts{
+			Parallelism: eo.Parallelism,
+			Stats:       st,
+		})
+	}
+}
+
+// clusterizeRef runs the configured clustering algorithm on the frozen
+// reference path (exact k-means sweeps); training-time feature selection
+// and the equivalence baselines use it so their outputs stay bit-stable
+// regardless of how the bounded path evolves.
+func (c Config) clusterizeRef(points [][]float64, k int, rng *rand.Rand) cluster.Assignment {
+	switch c.Algo {
+	case AlgoHACWard:
+		return cluster.HAC(points, k, cluster.Ward)
+	case AlgoHACSingle:
+		return cluster.HAC(points, k, cluster.Single)
+	default:
+		return cluster.KMeansReference(points, k, rng, 0)
 	}
 }
 

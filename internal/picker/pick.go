@@ -28,6 +28,10 @@ type PickStats struct {
 	// Featurize is the time spent building the partition feature matrix;
 	// only populated by PickBatch, where featurization is part of the pick.
 	Featurize time.Duration
+	// KMeans accumulates the bounded k-means distance-work counters across
+	// the pick's per-group clusterings; only populated by PickBatch (the
+	// reference paths run exact sweeps and count nothing).
+	KMeans cluster.KMeansStats
 }
 
 // funnelEval selects which evaluator the importance funnel runs on.
@@ -128,7 +132,7 @@ func (p *Picker) Pick(q *query.Query, features [][]float64, n int, rng *rand.Ran
 func (p *Picker) PickWithStats(q *query.Query, features [][]float64, n int, rng *rand.Rand) ([]query.WeightedPartition, PickStats) {
 	var st PickStats
 	start := time.Now()
-	sel := p.pick(q, features, n, rng, &st, evalFlat, nil)
+	sel := p.pick(q, features, n, rng, &st, evalFlat, nil, exec.Options{})
 	st.Total = time.Since(start)
 	return sel, st
 }
@@ -139,7 +143,7 @@ func (p *Picker) PickWithStats(q *query.Query, features [][]float64, n int, rng 
 // paths never call it.
 func (p *Picker) PickReference(q *query.Query, features [][]float64, n int, rng *rand.Rand) []query.WeightedPartition {
 	var st PickStats
-	return p.pick(q, features, n, rng, &st, evalReference, nil)
+	return p.pick(q, features, n, rng, &st, evalReference, nil, exec.Options{})
 }
 
 // PickBatch is the batched fast path of Algorithm 1: it featurizes every
@@ -206,12 +210,12 @@ func (p *Picker) PickBatchWithStats(q *query.Query, n int, rng *rand.Rand, eo ex
 		}
 	})
 	st.Featurize = time.Since(start)
-	sel := p.pick(q, sc.rows, n, rng, &st, evalBatch, sc)
+	sel := p.pick(q, sc.rows, n, rng, &st, evalBatch, sc, eo)
 	st.Total = time.Since(start)
 	return sel, st
 }
 
-func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Rand, st *PickStats, ev funnelEval, sc *pickScratch) []query.WeightedPartition {
+func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Rand, st *PickStats, ev funnelEval, sc *pickScratch, eo exec.Options) []query.WeightedPartition {
 	total := len(features)
 	if n >= total {
 		// Budget covers everything: exact answer, weight 1 each.
@@ -308,7 +312,7 @@ func (p *Picker) pick(q *query.Query, features [][]float64, n int, rng *rand.Ran
 		}
 		cstart := time.Now()
 		if sc != nil {
-			selection = append(selection, p.clusterSelectFast(features, g, ni, rng, sc)...)
+			selection = append(selection, p.clusterSelectFast(features, g, ni, rng, sc, eo, &st.KMeans)...)
 		} else {
 			selection = append(selection, p.clusterSelect(features, g, ni, p.Excluded, rng)...)
 		}
@@ -624,7 +628,7 @@ func (p *Picker) clusterSelect(features [][]float64, group []int, ni int, exclud
 	}
 	rows = maskKinds(p.TS.Space, rows, excluded)
 	rows = compressActive(rows)
-	asg := p.Cfg.clusterize(rows, ni, rng)
+	asg := p.Cfg.clusterizeRef(rows, ni, rng)
 	exs := p.Cfg.exemplars(rows, asg, rng)
 	out := make([]query.WeightedPartition, 0, len(exs))
 	for _, e := range exs {
@@ -645,7 +649,7 @@ func (p *Picker) clusterSelect(features [][]float64, group []int, ni int, exclud
 // underflow corner where a normalized value rounds to zero while its raw
 // value is not, the cached NormBase entry rounds identically, contributing
 // an all-zero column that no distance or median can observe.
-func (p *Picker) clusterSelectFast(features [][]float64, group []int, ni int, rng *rand.Rand, sc *pickScratch) []query.WeightedPartition {
+func (p *Picker) clusterSelectFast(features [][]float64, group []int, ni int, rng *rand.Rand, sc *pickScratch, eo exec.Options, ks *cluster.KMeansStats) []query.WeightedPartition {
 	m := p.TS.Space.Dim()
 	active := sc.active[:0]
 	for j := 0; j < m; j++ {
@@ -684,7 +688,7 @@ func (p *Picker) clusterSelectFast(features [][]float64, group []int, ni int, rn
 		}
 		rows[k] = row
 	}
-	asg := p.Cfg.clusterize(rows, ni, rng)
+	asg := p.Cfg.clusterize(rows, ni, rng, eo, ks)
 	exs := p.Cfg.exemplars(rows, asg, rng)
 	out := make([]query.WeightedPartition, 0, len(exs))
 	for _, e := range exs {

@@ -1,0 +1,239 @@
+package picker
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ps3/internal/query"
+)
+
+// sel builds a distinguishable selection.
+func sel(parts ...int) []query.WeightedPartition {
+	out := make([]query.WeightedPartition, len(parts))
+	for i, p := range parts {
+		out[i] = query.WeightedPartition{Part: p, Weight: float64(i + 1)}
+	}
+	return out
+}
+
+func TestSelectionCacheHitMissAndIdentity(t *testing.T) {
+	c := NewSelectionCache(8)
+	key := SelectionKey{Query: "SELECT COUNT(*) FROM t", N: 4}
+	calls := 0
+	compute := func() ([]query.WeightedPartition, error) {
+		calls++
+		return sel(3, 1, 4), nil
+	}
+	got, hit, err := c.GetOrCompute(key, compute)
+	if err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	again, hit, err := c.GetOrCompute(key, compute)
+	if err != nil || !hit {
+		t.Fatalf("second lookup: hit=%v err=%v, want hit", hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	// A hit returns the identical selection a cold pick computed — same
+	// backing array, so necessarily byte-identical.
+	if &got[0] != &again[0] || !reflect.DeepEqual(got, again) {
+		t.Fatal("hit returned a different selection than the cold compute")
+	}
+	// Distinct budgets are distinct keys.
+	_, hit, err = c.GetOrCompute(SelectionKey{Query: key.Query, N: 5}, compute)
+	if err != nil || hit {
+		t.Fatalf("different budget: hit=%v err=%v, want miss", hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 2 entries", st)
+	}
+	if got, want := st.HitRate(), 1.0/3; got != want {
+		t.Fatalf("hit rate = %v, want %v", got, want)
+	}
+}
+
+func TestSelectionCacheErrorNotCached(t *testing.T) {
+	c := NewSelectionCache(8)
+	key := SelectionKey{Query: "q", N: 1}
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	got, hit, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) { return sel(7), nil })
+	if err != nil || hit || len(got) != 1 {
+		t.Fatalf("recovery lookup: sel=%v hit=%v err=%v", got, hit, err)
+	}
+}
+
+func TestSelectionCacheLRUEviction(t *testing.T) {
+	c := NewSelectionCache(2)
+	get := func(q string) bool {
+		t.Helper()
+		_, hit, err := c.GetOrCompute(SelectionKey{Query: q, N: 1}, func() ([]query.WeightedPartition, error) { return sel(1), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	get("a")
+	get("b")
+	get("a") // touch a: b is now LRU
+	get("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if !get("a") || !get("c") {
+		t.Fatal("resident entries a/c missed")
+	}
+	if get("b") {
+		t.Fatal("evicted entry b hit")
+	}
+	if ev := c.Stats().Evictions; ev != 2 {
+		// b evicted by c's insert, then a or c evicted by b's re-insert.
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}
+
+func TestSelectionCacheInvalidate(t *testing.T) {
+	c := NewSelectionCache(8)
+	key := SelectionKey{Query: "q", N: 3}
+	if _, _, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) { return sel(1, 2), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatal("invalidate left entries resident")
+	}
+	_, hit, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) { return sel(9), nil })
+	if err != nil || hit {
+		t.Fatalf("post-invalidate lookup: hit=%v err=%v, want miss", hit, err)
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+// TestSelectionCacheInvalidateDropsInFlight pins the swap guarantee: a
+// selection whose computation began before Invalidate is never cached and
+// never adopted by waiters that arrive after the invalidation.
+func TestSelectionCacheInvalidateDropsInFlight(t *testing.T) {
+	c := NewSelectionCache(8)
+	key := SelectionKey{Query: "q", N: 2}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderDone sync.WaitGroup
+	leaderDone.Add(1)
+	go func() {
+		defer leaderDone.Done()
+		_, hit, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) {
+			close(started)
+			<-release
+			return sel(1), nil // stale: computed against the "old snapshot"
+		})
+		// The leader itself still gets its own result (its request began
+		// before the swap), as a miss.
+		if hit || err != nil {
+			t.Errorf("leader: hit=%v err=%v, want miss", hit, err)
+		}
+	}()
+	<-started
+	c.Invalidate()
+	release <- struct{}{}
+	leaderDone.Wait()
+	if c.Len() != 0 {
+		t.Fatal("mid-flight selection survived invalidation")
+	}
+	// A fresh lookup recomputes: the stale flight is invisible.
+	got, hit, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) { return sel(5, 6), nil })
+	if err != nil || hit || len(got) != 2 {
+		t.Fatalf("post-invalidate lookup: sel=%v hit=%v err=%v, want fresh miss", got, hit, err)
+	}
+}
+
+// TestSelectionCacheSingleFlight drives many concurrent lookups of one key
+// and requires exactly one compute; everyone shares its result.
+func TestSelectionCacheSingleFlight(t *testing.T) {
+	c := NewSelectionCache(8)
+	key := SelectionKey{Query: "hot", N: 7}
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	want := sel(2, 4, 6)
+	const workers = 16
+	results := make([][]query.WeightedPartition, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-gate
+			got, _, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) {
+				calls.Add(1)
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = got
+		}(w)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrency, want 1", n)
+	}
+	for w, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("worker %d got %v, want %v", w, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", st, workers-1)
+	}
+}
+
+// TestSelectionCacheConcurrentChurn hammers lookups, invalidations and
+// distinct keys together (run under -race in CI).
+func TestSelectionCacheConcurrentChurn(t *testing.T) {
+	c := NewSelectionCache(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := SelectionKey{Query: fmt.Sprintf("q%d", (w+i)%6), N: i % 3}
+				got, _, err := c.GetOrCompute(key, func() ([]query.WeightedPartition, error) {
+					parts := make([]int, key.N+1)
+					for j := range parts {
+						parts[j] = j
+					}
+					return sel(parts...), nil
+				})
+				if err != nil || len(got) != key.N+1 {
+					t.Errorf("lookup %v: sel=%v err=%v", key, got, err)
+					return
+				}
+				if i%50 == 0 && w == 0 {
+					c.Invalidate()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Fatalf("cache grew to %d entries, cap is 4", c.Len())
+	}
+}

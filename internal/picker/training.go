@@ -160,9 +160,9 @@ func stageLabels(contrib []float64, stage, k int, topFrac float64) []float64 {
 	neg := n - pos
 	for i, c := range contrib {
 		if c > thresh {
-			labels[i] = math.Sqrt(1 / float64(maxI(pos, 1)))
+			labels[i] = math.Sqrt(1 / float64(max(pos, 1)))
 		} else {
-			labels[i] = -math.Sqrt(1 / float64(maxI(neg, 1)))
+			labels[i] = -math.Sqrt(1 / float64(max(neg, 1)))
 		}
 	}
 	return labels
@@ -209,13 +209,6 @@ func stageThreshold(contrib []float64, stage, k int, topFrac float64) float64 {
 	return th * (1 - 1e-12)
 }
 
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // selectFeatures runs Algorithm 3 over the clustering feature kinds, scoring
 // each exclusion set by the mean relative error of clustering-only selection
 // on probe training queries at two probe budgets. Every evaluation re-seeds
@@ -230,7 +223,7 @@ func (p *Picker) selectFeatures(examples []Example) {
 	}
 	exs := examples[:probe]
 	n := len(examples[0].Features)
-	budgets := []int{maxI(n/20, 2), maxI(n/8, 3)}
+	budgets := []int{max(n/20, 2), max(n/8, 3)}
 	rng := newRand(p.Cfg.Seed + 977)
 
 	eval := func(excluded map[int]bool) float64 {

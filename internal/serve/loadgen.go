@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,20 +29,56 @@ type LoadReport struct {
 	// handling other traffic concurrently.
 	AvgPickMs float64
 	AvgScanMs float64
+	// PickCacheHits counts this run's successful requests whose partition
+	// selection came from the server's pick-result cache; PickCacheHitRate
+	// is their share of successful requests. Round-robin traffic revisits
+	// each template once per cycle; Zipf traffic concentrates on hot
+	// templates and drives this toward 1.
+	PickCacheHits    int64
+	PickCacheHitRate float64
 }
 
 // String renders the report for logs.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (pick %.2fms scan %.2fms), %d partition reads",
-		r.Requests, r.Failures, r.Duration.Round(time.Millisecond), r.QPS, r.AvgMs, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.AvgPickMs, r.AvgScanMs, r.PartsRead)
+	return fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (pick %.2fms scan %.2fms), %d partition reads, pick-cache hit rate %.1f%%",
+		r.Requests, r.Failures, r.Duration.Round(time.Millisecond), r.QPS, r.AvgMs, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.AvgPickMs, r.AvgScanMs, r.PartsRead, 100*r.PickCacheHitRate)
 }
 
 // LoadGen drives total requests through the server from concurrency workers,
 // cycling round-robin over the given queries, and reports sustained
-// throughput and latency. It exercises the full serving path — cache,
+// throughput and latency. It exercises the full serving path — caches,
 // admission control, picking and weighted scans — and is what `ps3serve
 // -loadgen` and the serve benchmark run.
 func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, total int) (LoadReport, error) {
+	return s.loadGen(queries, budget, concurrency, total, nil)
+}
+
+// LoadGenZipf drives total requests whose template popularity follows a Zipf
+// distribution with exponent zipfS > 1 over the query pool (rank 1 = the
+// first query, the hottest), seeded deterministically. Repeated-template
+// traffic is what the pick-result cache is for: the report's
+// PickCacheHitRate shows how much of the pick work the cache absorbed.
+func (s *Server) LoadGenZipf(queries []*query.Query, budget float64, concurrency, total int, zipfS float64, seed int64) (LoadReport, error) {
+	if zipfS <= 1 {
+		return LoadReport{}, fmt.Errorf("serve: zipf exponent must be > 1, got %v", zipfS)
+	}
+	if len(queries) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: loadgen needs at least one query")
+	}
+	// Each worker draws from its own deterministic stream: the run is
+	// reproducible per (seed, concurrency) and workers never contend on a
+	// shared rng.
+	pick := func(worker int) func(i int) int {
+		rng := rand.New(rand.NewSource(seed + int64(worker)))
+		z := rand.NewZipf(rng, zipfS, 1, uint64(len(queries)-1))
+		return func(int) int { return int(z.Uint64()) }
+	}
+	return s.loadGen(queries, budget, concurrency, total, pick)
+}
+
+// loadGen is the shared driver. pick, when non-nil, builds a per-worker
+// template chooser; nil means round-robin over the request index.
+func (s *Server) loadGen(queries []*query.Query, budget float64, concurrency, total int, pick func(worker int) func(i int) int) (LoadReport, error) {
 	if len(queries) == 0 {
 		return LoadReport{}, fmt.Errorf("serve: loadgen needs at least one query")
 	}
@@ -57,6 +94,7 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 		parts    atomic.Int64
 		pickUs   atomic.Int64
 		scanUs   atomic.Int64
+		pickHits atomic.Int64
 		wg       sync.WaitGroup
 	)
 	lats := make([][]time.Duration, concurrency)
@@ -65,6 +103,10 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			choose := func(i int) int { return i % len(queries) }
+			if pick != nil {
+				choose = pick(w)
+			}
 			mine := make([]time.Duration, 0, total/concurrency+1)
 			for {
 				i := int(next.Add(1)) - 1
@@ -72,7 +114,7 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 					break
 				}
 				t0 := time.Now()
-				resp, err := s.Query(queries[i%len(queries)], budget)
+				resp, err := s.Query(queries[choose(i)], budget)
 				if err != nil {
 					failures.Add(1)
 					continue
@@ -81,6 +123,9 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 				parts.Add(int64(resp.PartsRead))
 				pickUs.Add(int64(resp.PickMs * 1000))
 				scanUs.Add(int64(resp.ScanMs * 1000))
+				if resp.PickCached {
+					pickHits.Add(1)
+				}
 			}
 			lats[w] = mine
 		}(w)
@@ -94,10 +139,11 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	rep := LoadReport{
-		Requests:  int64(total),
-		Failures:  failures.Load(),
-		Duration:  elapsed,
-		PartsRead: parts.Load(),
+		Requests:      int64(total),
+		Failures:      failures.Load(),
+		Duration:      elapsed,
+		PartsRead:     parts.Load(),
+		PickCacheHits: pickHits.Load(),
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(total) / elapsed.Seconds()
@@ -118,6 +164,7 @@ func (s *Server) LoadGen(queries []*query.Query, budget float64, concurrency, to
 	if ok := int64(total) - failures.Load(); ok > 0 {
 		rep.AvgPickMs = float64(pickUs.Load()) / 1000 / float64(ok)
 		rep.AvgScanMs = float64(scanUs.Load()) / 1000 / float64(ok)
+		rep.PickCacheHitRate = float64(rep.PickCacheHits) / float64(ok)
 	}
 	return rep, nil
 }

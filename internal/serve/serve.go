@@ -11,6 +11,11 @@
 //
 //   - a compiled-query cache keyed by canonical query text (an LRU), so hot
 //     queries skip SQL parsing's downstream compilation work;
+//   - a pick-result cache (picker.SelectionCache): partition selection is
+//     deterministic per (system seed, query text, budget), so repeated
+//     queries reuse the weighted selection instead of re-running
+//     featurization, the funnel and clustering — with single-flight
+//     population so a burst of one hot query picks once;
 //   - per-request randomness: each request derives its own RNG from the
 //     system seed and a hash of the query text (core.System.Pick), so
 //     concurrent requests never share a randomness stream and answers stay
@@ -18,6 +23,9 @@
 //   - bounded in-flight execution: a semaphore caps concurrent partition
 //     scans so a traffic burst degrades to queueing instead of
 //     oversubscribing the scan engine;
+//   - live snapshot replacement: Swap atomically installs a retrained
+//     system; both caches are invalidated with it, so no post-swap request
+//     can observe a pre-swap compilation or selection;
 //   - request, cache and latency counters for operational visibility.
 //
 // Answers are identical to calling System.Run directly — caching and
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"ps3/internal/core"
+	"ps3/internal/picker"
 	"ps3/internal/query"
 	"ps3/internal/sql"
 	"ps3/internal/store"
@@ -46,6 +55,9 @@ type Config struct {
 	DefaultBudget float64
 	// CacheSize caps the compiled-query LRU (default 256 entries).
 	CacheSize int
+	// PickCacheSize caps the pick-result cache (default 512 entries;
+	// negative disables pick caching).
+	PickCacheSize int
 	// MaxInFlight bounds concurrently executing partition scans; further
 	// requests queue (default 2 × GOMAXPROCS).
 	MaxInFlight int
@@ -58,22 +70,36 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 256
 	}
+	if c.PickCacheSize == 0 {
+		c.PickCacheSize = 512
+	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
 	return c
 }
 
-// Server is a concurrency-safe query service over one trained System. All
-// methods are safe for concurrent use.
-type Server struct {
-	sys *core.System
-	cfg Config
+// snapState bundles everything bound to one installed snapshot: the system
+// and both caches, whose contents are only valid against that system. Swap
+// replaces the whole bundle atomically, so a request that loaded a state
+// keeps a mutually consistent (system, compiled queries, selections) view
+// for its entire lifetime, and no request can pair a new system with a stale
+// cache entry or vice versa.
+type snapState struct {
+	sys   *core.System
+	picks *picker.SelectionCache // nil when pick caching is disabled
 
 	// mu guards the compiled-query LRU (entries map + recency list).
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	recency *list.List // front = most recently used
+}
+
+// Server is a concurrency-safe query service over one trained System. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	state atomic.Pointer[snapState]
 
 	// sem bounds in-flight scans.
 	sem chan struct{}
@@ -88,12 +114,26 @@ type Server struct {
 	maxLatency  atomic.Int64
 	pickNs      atomic.Int64
 	scanNs      atomic.Int64
+	swaps       atomic.Int64
 }
 
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
 	key string
 	c   *query.Compiled
+}
+
+// newSnapState builds the per-snapshot bundle.
+func newSnapState(sys *core.System, cfg Config) *snapState {
+	st := &snapState{
+		sys:     sys,
+		entries: make(map[string]*list.Element, cfg.CacheSize),
+		recency: list.New(),
+	}
+	if cfg.PickCacheSize >= 0 {
+		st.picks = picker.NewSelectionCache(cfg.PickCacheSize)
+	}
+	return st
 }
 
 // New returns a server over sys, which must already be trained (a serving
@@ -103,17 +143,37 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: system is not trained; restore a trained snapshot or call Train first")
 	}
 	cfg = cfg.withDefaults()
-	return &Server{
-		sys:     sys,
-		cfg:     cfg,
-		entries: make(map[string]*list.Element, cfg.CacheSize),
-		recency: list.New(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-	}, nil
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.state.Store(newSnapState(sys, cfg))
+	return s, nil
 }
 
-// System returns the underlying system (read-only use).
-func (s *Server) System() *core.System { return s.sys }
+// System returns the currently installed system (read-only use).
+func (s *Server) System() *core.System { return s.state.Load().sys }
+
+// Swap atomically replaces the served system with a retrained one — the
+// deployment move when a new snapshot lands. The compiled-query and
+// pick-result caches are bound to the snapshot bundle and are replaced with
+// it, and the outgoing pick cache is invalidated, so once Swap returns no
+// request — not even one joining a selection computed mid-swap — can observe
+// a pre-swap compilation or selection. Requests already executing against
+// the old system finish coherently against it.
+func (s *Server) Swap(sys *core.System) error {
+	if sys.Picker == nil {
+		return fmt.Errorf("serve: swapped-in system is not trained")
+	}
+	old := s.state.Swap(newSnapState(sys, s.cfg))
+	if old.picks != nil {
+		// Fail-fast for in-flight waiters on the outgoing cache: flights
+		// finishing after the swap are dropped, not adopted.
+		old.picks.Invalidate()
+	}
+	s.swaps.Add(1)
+	return nil
+}
 
 // Response is one served answer, shaped for JSON transport: groups are
 // label-sorted so responses are stable and diffable.
@@ -125,7 +185,11 @@ type Response struct {
 	PartsRead int      `json:"parts_read"`
 	FracRead  float64  `json:"frac_read"`
 	Cached    bool     `json:"cached"`
-	LatencyMs float64  `json:"latency_ms"`
+	// PickCached reports that the partition selection came from the
+	// pick-result cache (or joined an in-flight pick) instead of being
+	// computed by this request. The answer is identical either way.
+	PickCached bool    `json:"pick_cached"`
+	LatencyMs  float64 `json:"latency_ms"`
 	// PickMs / ScanMs split the request's latency into partition selection
 	// and the weighted partition scan.
 	PickMs float64 `json:"pick_ms"`
@@ -151,31 +215,62 @@ func (s *Server) QuerySQL(sqlText string, budget float64) (*Response, error) {
 }
 
 // Query executes q at the budget fraction (0 = the server default). The
-// result is identical to sys.Run(q, budget): the compiled-query cache and
-// admission control are invisible in the answer.
+// result is identical to sys.Run(q, budget): the caches and admission
+// control are invisible in the answer — a pick-cache hit returns the
+// byte-identical selection a cold pick would compute, because picking is
+// deterministic per (seed, query text, budget).
 func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 	start := time.Now()
 	s.requests.Add(1)
 	if budget <= 0 {
 		budget = s.cfg.DefaultBudget
 	}
-	c, cached, err := s.compiled(q)
+	st := s.state.Load()
+	key := q.String()
+	c, cached, err := s.compiled(st, key, q)
 	if err != nil {
 		s.failures.Add(1)
 		return nil, err
 	}
 
-	// Bound in-flight scans: a burst beyond MaxInFlight queues here. The
-	// release is deferred so a panic during evaluation (recovered per
-	// request by net/http) can't leak the slot and wedge the server.
-	res, err := func() (*core.Result, error) {
+	// Bound in-flight work: a burst beyond MaxInFlight queues here. Picking
+	// (cached or not) and scanning both count against the bound. The release
+	// is deferred so a panic during evaluation (recovered per request by
+	// net/http) can't leak the slot and wedge the server.
+	res, pickHit, err := func() (*core.Result, bool, error) {
 		s.sem <- struct{}{}
 		s.inFlight.Add(1)
 		defer func() {
 			s.inFlight.Add(-1)
 			<-s.sem
 		}()
-		return s.sys.RunCompiled(c, budget)
+		n := st.sys.PartsForBudget(budget)
+		var pickStats picker.PickStats
+		pick := func() ([]query.WeightedPartition, error) {
+			sel, ps, err := st.sys.PickParts(q, n)
+			pickStats = ps
+			return sel, err
+		}
+		var (
+			sel []query.WeightedPartition
+			hit bool
+		)
+		if st.picks != nil {
+			sel, hit, err = st.picks.GetOrCompute(picker.SelectionKey{Query: key, N: n}, pick)
+		} else {
+			sel, err = pick()
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := st.sys.RunSelection(c, sel)
+		if err != nil {
+			return nil, false, err
+		}
+		// Zero when the selection came from the cache: no picking happened
+		// in this request.
+		res.PickTime = pickStats.Total
+		return res, hit, nil
 	}()
 
 	if err != nil {
@@ -190,14 +285,15 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 	s.scanNs.Add(int64(res.ScanTime))
 
 	resp := &Response{
-		Query:     q.String(),
-		Budget:    budget,
-		PartsRead: res.PartsRead,
-		FracRead:  res.FracRead,
-		Cached:    cached,
-		LatencyMs: float64(lat) / float64(time.Millisecond),
-		PickMs:    float64(res.PickTime) / float64(time.Millisecond),
-		ScanMs:    float64(res.ScanTime) / float64(time.Millisecond),
+		Query:      key,
+		Budget:     budget,
+		PartsRead:  res.PartsRead,
+		FracRead:   res.FracRead,
+		Cached:     cached,
+		PickCached: pickHit,
+		LatencyMs:  float64(lat) / float64(time.Millisecond),
+		PickMs:     float64(res.PickTime) / float64(time.Millisecond),
+		ScanMs:     float64(res.ScanTime) / float64(time.Millisecond),
 	}
 	for _, a := range q.Aggs {
 		resp.Aggs = append(resp.Aggs, a.String())
@@ -209,48 +305,57 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 	return resp, nil
 }
 
-// compiled resolves q through the LRU, compiling on miss. When two requests
-// race on the same uncached query, the second insert loses and adopts the
-// winner's compilation, so the cache never holds duplicate keys.
-func (s *Server) compiled(q *query.Query) (c *query.Compiled, hit bool, err error) {
-	key := q.String()
-	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.recency.MoveToFront(el)
+// compiled resolves q through the state's LRU, compiling on miss. When two
+// requests race on the same uncached query, the second insert loses and
+// adopts the winner's compilation, so the cache never holds duplicate keys.
+func (s *Server) compiled(st *snapState, key string, q *query.Query) (c *query.Compiled, hit bool, err error) {
+	st.mu.Lock()
+	if el, ok := st.entries[key]; ok {
+		st.recency.MoveToFront(el)
 		c = el.Value.(*cacheEntry).c
-		s.mu.Unlock()
+		st.mu.Unlock()
 		s.cacheHits.Add(1)
 		return c, true, nil
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 
 	// Compile outside the lock: compilation cost must not serialize cache
 	// hits of other queries.
-	c, err = s.sys.Compile(q)
+	c, err = st.sys.Compile(q)
 	if err != nil {
 		return nil, false, err
 	}
 	s.cacheMisses.Add(1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.entries[key]; ok {
-		s.recency.MoveToFront(el)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.entries[key]; ok {
+		st.recency.MoveToFront(el)
 		return el.Value.(*cacheEntry).c, false, nil
 	}
-	s.entries[key] = s.recency.PushFront(&cacheEntry{key: key, c: c})
-	if s.recency.Len() > s.cfg.CacheSize {
-		last := s.recency.Back()
-		s.recency.Remove(last)
-		delete(s.entries, last.Value.(*cacheEntry).key)
+	st.entries[key] = st.recency.PushFront(&cacheEntry{key: key, c: c})
+	if st.recency.Len() > s.cfg.CacheSize {
+		last := st.recency.Back()
+		st.recency.Remove(last)
+		delete(st.entries, last.Value.(*cacheEntry).key)
 	}
 	return c, false, nil
 }
 
 // CacheLen returns the number of cached compiled queries.
 func (s *Server) CacheLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.recency.Len()
+	st := s.state.Load()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recency.Len()
+}
+
+// PickCacheStats snapshots the current snapshot's pick-result cache counters
+// (zero value when pick caching is disabled).
+func (s *Server) PickCacheStats() picker.SelectionCacheStats {
+	if p := s.state.Load().picks; p != nil {
+		return p.Stats()
+	}
+	return picker.SelectionCacheStats{}
 }
 
 // Metrics is a point-in-time snapshot of the server's counters.
@@ -262,6 +367,7 @@ type Metrics struct {
 	CacheLen     int     `json:"cache_len"`
 	PartsRead    int64   `json:"parts_read"`
 	InFlight     int64   `json:"in_flight"`
+	Swaps        int64   `json:"swaps"`
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
 	MaxLatencyMs float64 `json:"max_latency_ms"`
 	// AvgPickMs / AvgScanMs split the served latency into partition
@@ -272,6 +378,10 @@ type Metrics struct {
 	AvgPickMs float64 `json:"avg_pick_ms"`
 	AvgScanMs float64 `json:"avg_scan_ms"`
 	PickFrac  float64 `json:"pick_frac"`
+	// PickCache carries the pick-result cache counters of the installed
+	// snapshot (nil when pick caching is disabled): hits, misses,
+	// single-flight shares, evictions and mean hit age.
+	PickCache *picker.SelectionCacheStats `json:"pick_cache,omitempty"`
 	// Store carries the partition-cache counters when the system serves
 	// from a paged store (nil on fully-resident systems): physical loads,
 	// hits, evictions, and resident bytes vs budget.
@@ -280,6 +390,7 @@ type Metrics struct {
 
 // Stats snapshots the counters. Averages are over successful requests.
 func (s *Server) Stats() Metrics {
+	st := s.state.Load()
 	m := Metrics{
 		Requests:    s.requests.Load(),
 		Failures:    s.failures.Load(),
@@ -288,6 +399,7 @@ func (s *Server) Stats() Metrics {
 		CacheLen:    s.CacheLen(),
 		PartsRead:   s.partsRead.Load(),
 		InFlight:    s.inFlight.Load(),
+		Swaps:       s.swaps.Load(),
 	}
 	pickNs, scanNs := s.pickNs.Load(), s.scanNs.Load()
 	if ok := m.Requests - m.Failures; ok > 0 {
@@ -299,9 +411,13 @@ func (s *Server) Stats() Metrics {
 		m.PickFrac = float64(pickNs) / float64(total)
 	}
 	m.MaxLatencyMs = float64(s.maxLatency.Load()) / float64(time.Millisecond)
-	if cs, ok := s.sys.Source.(interface{ CacheStats() store.CacheStats }); ok {
-		st := cs.CacheStats()
-		m.Store = &st
+	if st.picks != nil {
+		ps := st.picks.Stats()
+		m.PickCache = &ps
+	}
+	if cs, ok := st.sys.Source.(interface{ CacheStats() store.CacheStats }); ok {
+		cst := cs.CacheStats()
+		m.Store = &cst
 	}
 	return m
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -603,4 +604,322 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.StopTimer()
 	m := srv.Stats()
 	b.ReportMetric(float64(m.CacheHits)/float64(m.Requests), "cache-hit-ratio")
+}
+
+// pickFingerprint serializes the answer-bearing fields of a response —
+// everything except latencies and cache markers — for byte-identity checks.
+func pickFingerprint(t *testing.T, r *Response) string {
+	t.Helper()
+	c := *r
+	c.LatencyMs, c.PickMs, c.ScanMs = 0, 0, 0
+	c.Cached, c.PickCached = false, false
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServePickCacheHitsAreIdentical pins the cache's core contract: a
+// pick-cache hit serves the byte-identical answer a cold pick computes.
+func TestServePickCacheHitsAreIdentical(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries[:6] {
+		cold, err := srv.Query(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.PickCached {
+			t.Fatalf("query %s: first execution claims a pick-cache hit", q)
+		}
+		hot, err := srv.Query(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hot.PickCached {
+			t.Fatalf("query %s: repeat execution missed the pick cache", q)
+		}
+		if hot.PickMs != 0 {
+			t.Fatalf("query %s: cached pick reports %.3fms pick time, want 0", q, hot.PickMs)
+		}
+		if got, want := pickFingerprint(t, hot), pickFingerprint(t, cold); got != want {
+			t.Fatalf("query %s: cached response differs from cold response:\n cold %s\n  hot %s", q, want, got)
+		}
+	}
+	m := srv.Stats()
+	if m.PickCache == nil {
+		t.Fatal("metrics missing pick-cache counters")
+	}
+	if m.PickCache.Hits != 6 || m.PickCache.Misses != 6 {
+		t.Fatalf("pick cache counters: %+v, want 6 hits / 6 misses", *m.PickCache)
+	}
+	if m.PickCache.AvgHitAgeMs < 0 {
+		t.Fatalf("negative hit age: %+v", *m.PickCache)
+	}
+	// Distinct budgets are distinct selections: no false sharing.
+	r5, err := srv.Query(queries[0], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.PickCached {
+		t.Fatal("different budget hit the cache entry of another budget")
+	}
+}
+
+// TestServePickCacheDisabled: negative PickCacheSize turns the cache off.
+func TestServePickCacheDisabled(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	srv, err := New(sys, Config{PickCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := srv.Query(queries[0], 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.PickCached {
+			t.Fatal("disabled pick cache reported a hit")
+		}
+		if resp.PickMs <= 0 {
+			t.Fatal("uncached pick reported zero pick time")
+		}
+	}
+	if m := srv.Stats(); m.PickCache != nil {
+		t.Fatalf("metrics report pick-cache counters while disabled: %+v", *m.PickCache)
+	}
+}
+
+// retrainedSystem builds a second trained system over the same data with a
+// different system seed, so its pick decisions (and thus answers) diverge
+// from restoredSystem's — distinguishable enough to observe a swap.
+func retrainedSystem(t testing.TB) *core.System {
+	t.Helper()
+	ds, err := dataset.Aria(fixtureConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(ds.Table, core.Options{Workload: ds.Workload, Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := query.NewGenerator(ds.Workload, ds.Table, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train(gen.SampleN(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestServeSwap: Swap atomically installs a retrained system; both caches
+// are invalidated with it, and post-swap answers come from the new system.
+func TestServeSwap(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	newSys := retrainedSystem(t)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queries[0]
+	// Warm both caches on the old system.
+	if _, err := srv.Query(q, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := srv.Query(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached || !warm.PickCached {
+		t.Fatalf("warm request not cached: %+v", warm)
+	}
+
+	// An untrained system must be rejected without disturbing the server.
+	ds, err := dataset.Aria(dataset.Config{Rows: 2000, Parts: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	untrained, err := core.New(ds.Table, core.Options{Workload: ds.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Swap(untrained); err == nil {
+		t.Fatal("want error swapping in an untrained system")
+	}
+	if srv.System() != sys {
+		t.Fatal("rejected swap replaced the system")
+	}
+
+	if err := srv.Swap(newSys); err != nil {
+		t.Fatal(err)
+	}
+	if srv.System() != newSys {
+		t.Fatal("System() does not return the swapped-in system")
+	}
+	post, err := srv.Query(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Cached || post.PickCached {
+		t.Fatalf("post-swap request served from pre-swap caches: %+v", post)
+	}
+	// The post-swap answer is the new system's answer.
+	direct, err := newSys.Run(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]float64, len(direct.Values))
+	for g, vals := range direct.Values {
+		want[direct.Labels[g]] = vals
+	}
+	for _, grp := range post.Groups {
+		if !reflect.DeepEqual(want[grp.Label], grp.Values) {
+			t.Fatalf("post-swap group %q: served %v, new system %v", grp.Label, grp.Values, want[grp.Label])
+		}
+	}
+	// And it repopulates the new caches.
+	again, err := srv.Query(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || !again.PickCached {
+		t.Fatalf("post-swap repeat not cached: %+v", again)
+	}
+	if got, want := pickFingerprint(t, again), pickFingerprint(t, post); got != want {
+		t.Fatalf("post-swap cached response differs from cold response:\n cold %s\n  hot %s", want, got)
+	}
+	if m := srv.Stats(); m.Swaps != 1 {
+		t.Fatalf("swaps counter = %d, want 1", m.Swaps)
+	}
+}
+
+// TestServeSwapUnderConcurrentTraffic swaps mid-traffic (run under -race):
+// every response must match one of the two systems' direct answers — never a
+// mix — and requests joining in-flight pre-swap picks must not be served
+// post-swap selections.
+func TestServeSwapUnderConcurrentTraffic(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	newSys := retrainedSystem(t)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queries[:3]
+	type expect struct{ old, new string }
+	wants := make(map[string]expect, len(qs))
+	for _, q := range qs {
+		oldR, err := sys.Run(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newR, err := newSys.Run(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := func(r *core.Result) string {
+			labels := make([]string, 0, len(r.Values))
+			for g := range r.Values {
+				labels = append(labels, r.Labels[g]+fmt.Sprint(r.Values[g]))
+			}
+			sort.Strings(labels)
+			return strings.Join(labels, "|")
+		}
+		wants[q.String()] = expect{old: fp(oldR), new: fp(newR)}
+	}
+	respFP := func(r *Response) string {
+		labels := make([]string, 0, len(r.Groups))
+		for _, g := range r.Groups {
+			labels = append(labels, g.Label+fmt.Sprint(g.Values))
+		}
+		sort.Strings(labels)
+		return strings.Join(labels, "|")
+	}
+
+	var wg sync.WaitGroup
+	swapped := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				q := qs[(w+i)%len(qs)]
+				resp, err := srv.Query(q, 0.1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := respFP(resp)
+				want := wants[q.String()]
+				if got != want.old && got != want.new {
+					t.Errorf("query %s: response matches neither system\n got %s\n old %s\n new %s", q, got, want.old, want.new)
+					return
+				}
+				if i == 30 && w == 0 {
+					if err := srv.Swap(newSys); err != nil {
+						t.Error(err)
+						return
+					}
+					close(swapped)
+				}
+				// After the swap completes, answers must come from the new
+				// system only.
+				select {
+				case <-swapped:
+					if got != want.new {
+						// The request may have loaded the old state before the
+						// swap finished; only requests started after are
+						// guaranteed new. Re-issue to check the guarantee.
+						resp2, err := srv.Query(q, 0.1)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if g2 := respFP(resp2); g2 != want.new {
+							t.Errorf("query %s: post-swap response from old system\n got %s\n new %s", q, g2, want.new)
+							return
+						}
+					}
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLoadGenZipf: the skewed-traffic mode reports the pick-cache hit rate
+// repeated templates earn.
+func TestLoadGenZipf(t *testing.T) {
+	sys, queries := restoredSystem(t, 15)
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.LoadGenZipf(queries[:6], 0.1, 4, 80, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 80 || rep.Failures != 0 {
+		t.Fatalf("zipf loadgen report: %+v", rep)
+	}
+	// 80 requests over ≤6 templates: at most 6 cold picks, everything else
+	// must hit the pick cache.
+	if rep.PickCacheHits < 80-6 {
+		t.Fatalf("zipf traffic earned only %d pick-cache hits of %d requests", rep.PickCacheHits, rep.Requests)
+	}
+	if rep.PickCacheHitRate < float64(80-6)/80 || rep.PickCacheHitRate > 1 {
+		t.Fatalf("hit rate %v inconsistent with %d hits", rep.PickCacheHitRate, rep.PickCacheHits)
+	}
+	if !strings.Contains(rep.String(), "pick-cache hit rate") {
+		t.Fatalf("report string omits the hit rate: %s", rep)
+	}
+	// Bad exponent is rejected.
+	if _, err := srv.LoadGenZipf(queries[:2], 0.1, 1, 4, 1.0, 7); err == nil {
+		t.Fatal("want error for zipf exponent <= 1")
+	}
 }

@@ -105,7 +105,12 @@ func (h *Histogram) EstimateRange(lo, hi float64) float64 {
 	}
 	var rows float64
 	for _, b := range h.Buckets {
-		if hi < b.Lo || lo > b.Hi {
+		if hi < b.Lo {
+			// Buckets are sorted ascending and non-overlapping (Finalize), so
+			// no later bucket can intersect [lo, hi] either.
+			break
+		}
+		if lo > b.Hi {
 			continue
 		}
 		cnt := float64(b.Count)
