@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec bench-store bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke serve-bench vet fmt-check verify
+.PHONY: build test race race-serve bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke serve-bench vet fmt-check verify
 
 build:
 	$(GO) build ./...
@@ -27,11 +27,25 @@ bench:
 bench-exec:
 	$(GO) test -bench 'BenchmarkEvalPartition|BenchmarkSelectivity' -benchmem -run '^$$' .
 
-# Paged partition store: cold scan (disk + CRC + decode per partition),
-# warm scan (cache hits), and the picked-subset serving shape with a cache
-# budget far below the dataset size.
+# Paged partition store: cold scan (disk + CRC + decode per partition) raw
+# vs encoded per dataset, cache hit rate at fixed byte budgets, warm scan,
+# and the picked-subset serving shape. The raw output is rendered into
+# BENCH_store.json, including the per-dataset compression ratios and the
+# kdd cache-budget claim (encoded at 1/3 of the raw budget, equal-or-better
+# hit rate).
 bench-store:
-	$(GO) test -bench 'BenchmarkStore' -benchmem -run '^$$' ./internal/store/
+	$(GO) test -bench 'BenchmarkStore' -benchmem -benchtime 2s -run '^$$' ./internal/store/ | tee bench_store_raw.txt
+	awk -v date=$$(date +%F) -v gover=$$($(GO) env GOVERSION) -f scripts/bench_store_json.awk bench_store_raw.txt > BENCH_store.json
+	@rm -f bench_store_raw.txt
+	@cat BENCH_store.json
+
+# One-iteration smoke of the store benchmarks plus the encoding acceptance
+# contracts (raw/encoded bit-identity, the no-decode counter proof, and the
+# frozen golden files); wired into CI so the benchmark fixtures and the
+# encoded-kernel counters can never rot.
+bench-store-smoke:
+	$(GO) test -run 'TestEncodedVsRawQueryEquivalence|TestCatPredicateEvaluatesWithoutDecode|TestGoldenFiles|TestChooserHintConsistency' -v ./internal/store/
+	$(GO) test -bench 'BenchmarkStore' -benchtime 1x -run '^$$' ./internal/store/
 
 # Pick-time inference: the batched pick path (pooled featurization +
 # flat-ensemble funnel) vs the retained pointer-tree reference, across

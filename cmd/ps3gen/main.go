@@ -36,14 +36,22 @@ func main() {
 		csvOut = flag.String("csv", "", "write rows as CSV to this path")
 		binOut = flag.String("out", "", "write the table to this path (paged store format unless -gob)")
 		gobOut = flag.Bool("gob", false, "write -out in the legacy gob format instead of the paged store format")
+		rawOut = flag.Bool("raw", false, "write -out store blocks uncompressed (v1 layout) instead of encoded")
 		in     = flag.String("in", "", "convert: load this table file (either format) instead of generating a dataset")
 	)
 	flag.Parse()
 	if *gobOut && *binOut == "" {
 		fatal(fmt.Errorf("-gob selects the encoding of -out; pass -out as well"))
 	}
+	if *rawOut && (*binOut == "" || *gobOut) {
+		fatal(fmt.Errorf("-raw selects uncompressed paged-store blocks; pass -out without -gob"))
+	}
 
 	var t *table.Table
+	// encodingHints feeds ingest-time sketches to the store's encoding
+	// chooser when the generate path builds them anyway; conversion writes
+	// without hints (same encodings, chooser scans the blocks itself).
+	var encodingHints func(part, col int) (store.ColHint, bool)
 	if *in != "" {
 		// Conversion keeps the input's rows and layout verbatim: generation
 		// flags would be silently ignored, so reject them instead of letting
@@ -100,6 +108,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		encodingHints = store.HintsFromStats(ts)
 		sz := ts.Sizes()
 		fmt.Printf("\nsummary statistics: %.1f KB/partition (hist %.1f, hh %.1f, akmv %.1f, measures %.1f)\n",
 			sz.Total/1024, sz.Histogram/1024, sz.HH/1024, sz.AKMV/1024, sz.Measure/1024)
@@ -140,12 +149,25 @@ func main() {
 			fmt.Printf("wrote legacy gob table to %s\n", *binOut)
 			return
 		}
-		n, err := store.WriteFile(*binOut, t)
+		n, err := store.WriteFileWith(*binOut, t, store.WriteOptions{Raw: *rawOut, Hints: encodingHints})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote paged store to %s (%.1f MB, %d partition blocks)\n",
-			*binOut, float64(n)/(1<<20), t.NumParts())
+		if *rawOut {
+			fmt.Printf("wrote paged store to %s (%.1f MB, %d partition blocks, raw)\n",
+				*binOut, float64(n)/(1<<20), t.NumParts())
+		} else {
+			r, err := store.Open(*binOut, store.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			es := r.EncodingStats()
+			if err := r.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote paged store to %s (%.1f MB, %d partition blocks, %.2fx block compression)\n",
+				*binOut, float64(n)/(1<<20), t.NumParts(), es.Ratio)
+		}
 	}
 }
 

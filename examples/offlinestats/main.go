@@ -119,7 +119,7 @@ func main() {
 		var sum float64
 		rows := make([]float64, p.Rows())
 		for r := 0; r < p.Rows(); r++ {
-			rows[r] = p.Num[bi][r]
+			rows[r] = p.NumCol(bi)[r]
 			sum += rows[r]
 		}
 		partTotals = append(partTotals, sum)

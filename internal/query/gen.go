@@ -256,7 +256,7 @@ func (g *Generator) sampleNumeric(ci int) float64 {
 	if p == nil {
 		return 0
 	}
-	return p.Num[ci][g.rng.Intn(p.Rows())]
+	return p.NumCol(ci)[g.rng.Intn(p.Rows())]
 }
 
 // sampleCategorical returns the value of column ci at a random row, or ""
@@ -266,7 +266,7 @@ func (g *Generator) sampleCategorical(ci int) string {
 	if p == nil {
 		return ""
 	}
-	return g.dict.Value(p.Cat[ci][g.rng.Intn(p.Rows())])
+	return g.dict.Value(p.CatCol(ci)[g.rng.Intn(p.Rows())])
 }
 
 // samplePartition reads a uniformly random non-empty partition, or nil when

@@ -245,7 +245,7 @@ func codeTable(codes map[uint32]bool, d *table.Dict) []bool {
 // switch ladders in sync when adding operators; the randomized equivalence
 // corpus exercises both (seeds run for clause-rooted and first-of-AND
 // predicates, narrowing kernels for everything else).
-func compileClauseSeed(c *Clause, s *table.Schema, d *table.Dict) (seedKernel, error) {
+func compileClauseSeedRaw(c *Clause, s *table.Schema, d *table.Dict) (seedKernel, error) {
 	ci := s.ColIndex(c.Col)
 	if ci < 0 {
 		return nil, fmt.Errorf("query: unknown column %q in predicate", c.Col)
@@ -502,8 +502,10 @@ func compileKernel(pred Pred, s *table.Schema, d *table.Dict) (kernel, error) {
 	}
 }
 
-// compileClauseKernel lowers one comparison clause to a column kernel.
-func compileClauseKernel(c *Clause, s *table.Schema, d *table.Dict) (kernel, error) {
+// compileClauseKernelRaw lowers one comparison clause to a column kernel
+// over decoded slices — the frozen reference loops the encoded dispatch in
+// enckernel.go falls back to.
+func compileClauseKernelRaw(c *Clause, s *table.Schema, d *table.Dict) (kernel, error) {
 	ci := s.ColIndex(c.Col)
 	if ci < 0 {
 		return nil, fmt.Errorf("query: unknown column %q in predicate", c.Col)

@@ -231,17 +231,17 @@ func compileClause(c *Clause, s *table.Schema, d *table.Dict) (rowFn, error) {
 		v := c.Num
 		switch c.Op {
 		case OpEq:
-			return func(p *table.Partition, r int) bool { return p.Num[ci][r] == v }, nil
+			return func(p *table.Partition, r int) bool { return p.NumCol(ci)[r] == v }, nil
 		case OpNe:
-			return func(p *table.Partition, r int) bool { return p.Num[ci][r] != v }, nil
+			return func(p *table.Partition, r int) bool { return p.NumCol(ci)[r] != v }, nil
 		case OpLt:
-			return func(p *table.Partition, r int) bool { return p.Num[ci][r] < v }, nil
+			return func(p *table.Partition, r int) bool { return p.NumCol(ci)[r] < v }, nil
 		case OpLe:
-			return func(p *table.Partition, r int) bool { return p.Num[ci][r] <= v }, nil
+			return func(p *table.Partition, r int) bool { return p.NumCol(ci)[r] <= v }, nil
 		case OpGt:
-			return func(p *table.Partition, r int) bool { return p.Num[ci][r] > v }, nil
+			return func(p *table.Partition, r int) bool { return p.NumCol(ci)[r] > v }, nil
 		case OpGe:
-			return func(p *table.Partition, r int) bool { return p.Num[ci][r] >= v }, nil
+			return func(p *table.Partition, r int) bool { return p.NumCol(ci)[r] >= v }, nil
 		default:
 			return nil, fmt.Errorf("query: operator %s not supported on numeric column %q", c.Op, c.Col)
 		}
@@ -260,7 +260,7 @@ func compileClause(c *Clause, s *table.Schema, d *table.Dict) (rowFn, error) {
 		}
 	}
 	if c.Op == OpNe {
-		return func(p *table.Partition, r int) bool { return !codes[p.Cat[ci][r]] }, nil
+		return func(p *table.Partition, r int) bool { return !codes[p.CatCol(ci)[r]] }, nil
 	}
-	return func(p *table.Partition, r int) bool { return codes[p.Cat[ci][r]] }, nil
+	return func(p *table.Partition, r int) bool { return codes[p.CatCol(ci)[r]] }, nil
 }

@@ -437,13 +437,13 @@ func filterSelection(k kernel, p *table.Partition, sel, gidx []int32, sc *scratc
 // appendKey encodes the group-by values of row r into buf.
 func (c *Compiled) appendKey(buf []byte, p *table.Partition, r int) []byte {
 	for _, gi := range c.groupIdx {
-		if p.Num[gi] != nil {
+		if c.schema.Cols[gi].IsNumeric() {
 			var b [8]byte
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.Num[gi][r]))
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.NumCol(gi)[r]))
 			buf = append(buf, b[:]...)
 		} else {
 			var b [4]byte
-			binary.LittleEndian.PutUint32(b[:], p.Cat[gi][r])
+			binary.LittleEndian.PutUint32(b[:], p.CatCol(gi)[r])
 			buf = append(buf, b[:]...)
 		}
 	}

@@ -386,6 +386,14 @@ type Metrics struct {
 	// from a paged store (nil on fully-resident systems): physical loads,
 	// hits, evictions, and resident bytes vs budget.
 	Store *store.CacheStats `json:"store,omitempty"`
+	// StoreEncoding carries the store's block-encoding counters (nil on
+	// fully-resident systems): compression ratio and how many encoded
+	// columns had to be materialized anyway.
+	StoreEncoding *store.EncodingStats `json:"store_encoding,omitempty"`
+	// EncodedKernelEvals counts predicate clauses evaluated directly on
+	// encoded columns (process-wide) — the work the encodings let scans
+	// skip.
+	EncodedKernelEvals int64 `json:"encoded_kernel_evals"`
 }
 
 // Stats snapshots the counters. Averages are over successful requests.
@@ -419,6 +427,11 @@ func (s *Server) Stats() Metrics {
 		cst := cs.CacheStats()
 		m.Store = &cst
 	}
+	if es, ok := st.sys.Source.(interface{ EncodingStats() store.EncodingStats }); ok {
+		est := es.EncodingStats()
+		m.StoreEncoding = &est
+	}
+	m.EncodedKernelEvals = query.EncodedKernelEvals()
 	return m
 }
 

@@ -287,7 +287,7 @@ func buildPartition(s *table.Schema, p *table.Partition, opts Options) *Partitio
 		}
 		if col.IsNumeric() {
 			cs.Measures = sketch.NewMeasures(col.Positive)
-			vals := p.Num[ci]
+			vals := p.NumCol(ci)
 			for _, v := range vals {
 				cs.Measures.Add(v)
 				cs.Hist.Add(v)
@@ -297,7 +297,7 @@ func buildPartition(s *table.Schema, p *table.Partition, opts Options) *Partitio
 			}
 		} else {
 			cs.Dict = sketch.NewExactDict(0)
-			codes := p.Cat[ci]
+			codes := p.CatCol(ci)
 			for _, c := range codes {
 				// Categorical histograms are built over value hashes mapped
 				// to [0,1): they only support existence-style estimates.

@@ -17,9 +17,12 @@ type CacheStats struct {
 	Misses int64 `json:"misses"`
 	// Evictions counts partitions dropped to stay inside the byte budget.
 	Evictions int64 `json:"evictions"`
-	// LoadedBytes is the cumulative decoded bytes read from disk — the
-	// physical I/O spent, as opposed to the logical partition reads the
-	// Reader's IOStats accountant charges.
+	// LoadedBytes is the cumulative admitted (resident-encoded) bytes
+	// faulted in from disk — the physical footprint the cache paid for, as
+	// opposed to the logical decoded-width reads the Reader's IOStats
+	// accountant charges. For raw (v1) stores the two coincide; for encoded
+	// stores LoadedBytes is smaller by the compression ratio. Lazily
+	// decoded columns are tracked by the reader's EncodingStats, not here.
 	LoadedBytes int64 `json:"loaded_bytes"`
 	// ResidentBytes and ResidentParts describe what the cache holds now.
 	ResidentBytes int64 `json:"resident_bytes"`

@@ -90,11 +90,11 @@ func blockSize(s *table.Schema, rows int64) int64 {
 func encodeBlock(dst []byte, s *table.Schema, p *table.Partition) []byte {
 	for c, col := range s.Cols {
 		if col.IsNumeric() {
-			for _, v := range p.Num[c] {
+			for _, v := range p.NumCol(c) {
 				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 			}
 		} else {
-			for _, code := range p.Cat[c] {
+			for _, code := range p.CatCol(c) {
 				dst = binary.LittleEndian.AppendUint32(dst, code)
 			}
 		}

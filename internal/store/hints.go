@@ -1,0 +1,36 @@
+package store
+
+import "ps3/internal/stats"
+
+// HintsFromStats adapts a table's per-partition column sketches into
+// encoding hints for WriteWith: exact min/max from the numeric measures and
+// exact distinct counts from the categorical dictionaries. The sketches are
+// built at ingest time anyway, so the encoding chooser gets its pruning
+// information for free instead of re-scanning every block. Hints only skip
+// provably fruitless scans — the chosen encodings are identical with or
+// without them (asserted by TestChooserHintConsistency).
+func HintsFromStats(ts *stats.TableStats) func(part, col int) (ColHint, bool) {
+	if ts == nil {
+		return nil
+	}
+	return func(part, col int) (ColHint, bool) {
+		if part < 0 || part >= len(ts.Parts) {
+			return ColHint{}, false
+		}
+		ps := ts.Parts[part]
+		if col < 0 || col >= len(ps.Cols) {
+			return ColHint{}, false
+		}
+		cs := ps.Cols[col]
+		var h ColHint
+		if m := cs.Measures; m != nil && m.Count > 0 {
+			h.Min, h.Max, h.HasRange = m.Min, m.Max, true
+		}
+		if d := cs.Dict; d != nil {
+			if n, ok := d.Distinct(); ok {
+				h.Distinct, h.HasDistinct = n, true
+			}
+		}
+		return h, h.HasRange || h.HasDistinct
+	}
+}

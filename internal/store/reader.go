@@ -22,10 +22,11 @@ const DefaultCacheBytes int64 = 256 << 20
 
 // Options configures a Reader.
 type Options struct {
-	// CacheBytes bounds the decoded partition bytes held resident by the
-	// cache. 0 means DefaultCacheBytes; negative means unbounded (the
-	// whole dataset may end up cached, which turns the reader into a
-	// lazily-populated resident table).
+	// CacheBytes bounds the resident-encoded partition bytes held by the
+	// cache (decoded width for raw columns, wire size for encoded ones —
+	// see Partition.EncodedSizeBytes). 0 means DefaultCacheBytes; negative
+	// means unbounded (the whole dataset may end up cached, which turns
+	// the reader into a lazily-populated resident table).
 	CacheBytes int64
 }
 
@@ -49,13 +50,22 @@ type Reader struct {
 	src    io.ReaderAt
 	closer io.Closer // set when the reader owns the underlying file
 
-	schema     *table.Schema
-	dict       *table.Dict
-	blocks     []blockWire
-	rows       int
+	schema  *table.Schema
+	dict    *table.Dict
+	blocks  []blockWire
+	version uint32
+	rows    int
+	// totalBytes is the decoded (logical) footprint; fileBytes the encoded
+	// bytes actually stored in blocks. Equal for v1 files.
 	totalBytes int64
+	fileBytes  int64
+	// perRow is the decoded bytes per row under the schema.
+	perRow int64
 
 	cache *partCache
+	// decStats counts lazy materializations of encoded columns across every
+	// partition this reader has served.
+	decStats table.DecodeStats
 
 	// Logical I/O accounting (see table.PartitionSource): every Read
 	// charges here, cache hit or not; the cache's own stats track the
@@ -100,8 +110,10 @@ func NewReaderAt(src io.ReaderAt, size int64, o Options) (*Reader, error) {
 	if string(header[:len(headerMagic)]) != headerMagic {
 		return nil, fmt.Errorf("store: not a store file (magic %q)", header[:len(headerMagic)])
 	}
-	if v := binary.LittleEndian.Uint32(header[len(headerMagic):]); v != formatVersion {
-		return nil, fmt.Errorf("store: format version %d, this build reads %d", v, formatVersion)
+	version := binary.LittleEndian.Uint32(header[len(headerMagic):])
+	if version != formatVersion && version != formatVersionEncoded {
+		return nil, fmt.Errorf("store: format version %d, this build reads %d and %d",
+			version, formatVersion, formatVersionEncoded)
 	}
 
 	var trailer [trailerSize]byte
@@ -142,30 +154,41 @@ func NewReaderAt(src io.ReaderAt, size int64, o Options) (*Reader, error) {
 	}
 
 	r := &Reader{
-		src:    src,
-		schema: schema,
-		dict:   dict,
-		blocks: footer.Blocks,
-		cache:  newPartCache(o.budget()),
+		src:     src,
+		schema:  schema,
+		dict:    dict,
+		blocks:  footer.Blocks,
+		version: version,
+		cache:   newPartCache(o.budget()),
 	}
 	// perRow is hoisted out of the loop: a corrupt footer can declare
 	// thousands of columns and thousands of blocks, and re-walking the
 	// schema per block would make open quadratic in the footer size.
-	perRow := bytesPerRow(schema)
+	r.perRow = bytesPerRow(schema)
+	// v2 blocks carry a [tag][length] prefix per column; their payload
+	// length varies with the data, so only a lower bound is checkable from
+	// the footer (full structural validation happens at block decode).
+	minV2 := int64(colHeaderSize * schema.NumCols())
 	for i, b := range footer.Blocks {
 		if b.Rows < 0 || b.Rows > math.MaxInt32 {
 			return nil, fmt.Errorf("store: corrupt file: partition %d has row count %d", i, b.Rows)
 		}
-		if want := perRow * b.Rows; b.Length != want {
-			return nil, fmt.Errorf("store: corrupt file: partition %d block is %d bytes, %d rows require %d",
-				i, b.Length, b.Rows, want)
+		if version == formatVersion {
+			if want := r.perRow * b.Rows; b.Length != want {
+				return nil, fmt.Errorf("store: corrupt file: partition %d block is %d bytes, %d rows require %d",
+					i, b.Length, b.Rows, want)
+			}
+		} else if b.Length < minV2 {
+			return nil, fmt.Errorf("store: corrupt file: partition %d block is %d bytes, %d column headers require %d",
+				i, b.Length, schema.NumCols(), minV2)
 		}
 		if b.Offset < int64(headerSize) || b.Offset > footerStart || footerStart-b.Offset < b.Length {
 			return nil, fmt.Errorf("store: corrupt file: partition %d block [%d, %d+%d) falls outside the data section [%d, %d)",
 				i, b.Offset, b.Offset, b.Length, headerSize, footerStart)
 		}
 		r.rows += int(b.Rows)
-		r.totalBytes += b.Length
+		r.totalBytes += r.perRow * b.Rows
+		r.fileBytes += b.Length
 	}
 	return r, nil
 }
@@ -205,13 +228,16 @@ func (r *Reader) Read(i int) (*table.Partition, error) {
 		return nil, fmt.Errorf("store: partition %d out of range [0, %d)", i, len(r.blocks))
 	}
 	r.readCount.Add(1)
-	r.readBytes.Add(r.blocks[i].Length)
+	r.readBytes.Add(r.perRow * r.blocks[i].Rows)
 	return r.cache.get(i, func() (*table.Partition, int64, error) {
 		p, err := r.loadBlock(i)
 		if err != nil {
 			return nil, 0, err
 		}
-		return p, int64(p.SizeBytes()), nil
+		// The cache charges the resident-encoded footprint, not the decoded
+		// width: a compressed partition takes a proportionally smaller bite
+		// out of the budget, which is the point of encoding.
+		return p, int64(p.EncodedSizeBytes()), nil
 	})
 }
 
@@ -225,7 +251,7 @@ func (r *Reader) ReadUncached(i int) (*table.Partition, error) {
 		return nil, fmt.Errorf("store: partition %d out of range [0, %d)", i, len(r.blocks))
 	}
 	r.readCount.Add(1)
-	r.readBytes.Add(r.blocks[i].Length)
+	r.readBytes.Add(r.perRow * r.blocks[i].Rows)
 	return r.loadBlock(i)
 }
 
@@ -239,6 +265,9 @@ func (r *Reader) loadBlock(i int) (*table.Partition, error) {
 	}
 	if got := crc32.Checksum(data, crcTable); got != b.CRC {
 		return nil, fmt.Errorf("store: partition %d failed checksum: block CRC %08x, footer says %08x", i, got, b.CRC)
+	}
+	if r.version == formatVersionEncoded {
+		return decodeBlockV2(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows), &r.decStats)
 	}
 	return decodeBlock(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows))
 }
@@ -258,6 +287,39 @@ func (r *Reader) IOStats() (parts int64, bytes int64) {
 // CacheStats snapshots the partition cache counters: physical loads,
 // hits, evictions and resident bytes.
 func (r *Reader) CacheStats() CacheStats { return r.cache.stats() }
+
+// EncodingStats describes how much the store's block encodings compress the
+// dataset and how often encoded columns had to be materialized anyway.
+type EncodingStats struct {
+	// FormatVersion is the file's format: 1 (raw) or 2 (encoded).
+	FormatVersion int
+	// FileBytes is the total encoded block bytes on disk; LogicalBytes the
+	// decoded-width equivalent. Equal for v1 files.
+	FileBytes    int64
+	LogicalBytes int64
+	// Ratio is LogicalBytes / FileBytes (1.0 for raw files).
+	Ratio float64
+	// LazyDecodeCols / LazyDecodeBytes count encoded columns materialized
+	// after load — the decode work predicates could not avoid.
+	LazyDecodeCols  int64
+	LazyDecodeBytes int64
+}
+
+// EncodingStats reports the reader's compression and lazy-decode counters.
+func (r *Reader) EncodingStats() EncodingStats {
+	cols, bytes := r.decStats.Snapshot()
+	es := EncodingStats{
+		FormatVersion:   int(r.version),
+		FileBytes:       r.fileBytes,
+		LogicalBytes:    r.totalBytes,
+		LazyDecodeCols:  cols,
+		LazyDecodeBytes: bytes,
+	}
+	if es.FileBytes > 0 {
+		es.Ratio = float64(es.LogicalBytes) / float64(es.FileBytes)
+	}
+	return es
+}
 
 // Materialize loads every partition into a fully resident *table.Table
 // sharing the reader's schema and dictionary. It bypasses the cache — a

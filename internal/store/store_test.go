@@ -40,11 +40,21 @@ func buildTable(t testing.TB, rows, rowsPerPart int) *table.Table {
 	return b.Finish()
 }
 
-// writeStore serializes tbl and returns the raw store bytes.
+// writeStore serializes tbl with the default (encoded) writer and returns
+// the store bytes.
 func writeStore(t testing.TB, tbl *table.Table) []byte {
+	return writeStoreWith(t, tbl, WriteOptions{})
+}
+
+// writeStoreRaw serializes tbl in the frozen v1 raw layout.
+func writeStoreRaw(t testing.TB, tbl *table.Table) []byte {
+	return writeStoreWith(t, tbl, WriteOptions{Raw: true})
+}
+
+func writeStoreWith(t testing.TB, tbl *table.Table, opts WriteOptions) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	n, err := Write(&buf, tbl)
+	n, err := WriteWith(&buf, tbl, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +62,17 @@ func writeStore(t testing.TB, tbl *table.Table) []byte {
 		t.Fatalf("Write reported %d bytes, wrote %d", n, buf.Len())
 	}
 	return buf.Bytes()
+}
+
+// encodedPartSize returns the resident-encoded footprint of partition i as
+// the cache will charge it, by decoding the block outside the cache.
+func encodedPartSize(t testing.TB, r *Reader, i int) int64 {
+	t.Helper()
+	p, err := r.loadBlock(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(p.EncodedSizeBytes())
 }
 
 // openStore opens store bytes with the given cache budget.
@@ -71,17 +92,19 @@ func requireSamePartition(t *testing.T, want, got *table.Partition, pi int) {
 		t.Fatalf("partition %d: %d rows, want %d", pi, got.Rows(), want.Rows())
 	}
 	for c := range want.Num {
-		if len(want.Num[c]) != len(got.Num[c]) || len(want.Cat[c]) != len(got.Cat[c]) {
+		wn, gn := want.NumCol(c), got.NumCol(c)
+		wc, gc := want.CatCol(c), got.CatCol(c)
+		if len(wn) != len(gn) || len(wc) != len(gc) {
 			t.Fatalf("partition %d column %d: slice shapes differ", pi, c)
 		}
-		for r, v := range want.Num[c] {
-			if got.Num[c][r] != v {
-				t.Fatalf("partition %d column %d row %d: %v, want %v", pi, c, r, got.Num[c][r], v)
+		for r, v := range wn {
+			if gn[r] != v {
+				t.Fatalf("partition %d column %d row %d: %v, want %v", pi, c, r, gn[r], v)
 			}
 		}
-		for r, v := range want.Cat[c] {
-			if got.Cat[c][r] != v {
-				t.Fatalf("partition %d column %d row %d: code %d, want %d", pi, c, r, got.Cat[c][r], v)
+		for r, v := range wc {
+			if gc[r] != v {
+				t.Fatalf("partition %d column %d row %d: code %d, want %d", pi, c, r, gc[r], v)
 			}
 		}
 	}
@@ -175,8 +198,9 @@ func TestIOAccountingIsLogical(t *testing.T) {
 	if st.Misses != 2 || st.Hits != 2 {
 		t.Errorf("cache saw %d misses / %d hits, want 2 / 2", st.Misses, st.Hits)
 	}
-	if st.LoadedBytes != int64(tbl.Parts[0].SizeBytes()+tbl.Parts[1].SizeBytes()) {
-		t.Errorf("physical bytes = %d", st.LoadedBytes)
+	wantLoaded := encodedPartSize(t, r, 0) + encodedPartSize(t, r, 1)
+	if st.LoadedBytes != wantLoaded {
+		t.Errorf("physical bytes = %d, want %d (admitted encoded bytes)", st.LoadedBytes, wantLoaded)
 	}
 	r.ResetIO()
 	if p, b := r.IOStats(); p != 0 || b != 0 {
@@ -185,10 +209,11 @@ func TestIOAccountingIsLogical(t *testing.T) {
 }
 
 func TestCacheEvictsToBudget(t *testing.T) {
-	tbl := buildTable(t, 400, 100) // 4 partitions × 2000 bytes
-	partSize := int64(tbl.Parts[0].SizeBytes())
+	tbl := buildTable(t, 400, 100) // 4 equal partitions
+	data := writeStore(t, tbl)
+	partSize := encodedPartSize(t, openStore(t, data, -1), 0)
 	budget := 2*partSize + partSize/2 // room for two partitions
-	r := openStore(t, writeStore(t, tbl), budget)
+	r := openStore(t, data, budget)
 	for pi := 0; pi < 4; pi++ {
 		if _, err := r.Read(pi); err != nil {
 			t.Fatal(err)
@@ -260,8 +285,8 @@ func TestSingleFlightLoads(t *testing.T) {
 	if st.Misses != 1 {
 		t.Errorf("%d concurrent reads of one partition caused %d loads, want 1", goroutines, st.Misses)
 	}
-	if st.LoadedBytes != int64(tbl.Parts[0].SizeBytes()) {
-		t.Errorf("physical bytes = %d, want one block", st.LoadedBytes)
+	if want := encodedPartSize(t, r, 0); st.LoadedBytes != want {
+		t.Errorf("physical bytes = %d, want one block (%d)", st.LoadedBytes, want)
 	}
 	for g := 1; g < goroutines; g++ {
 		if parts[g] != parts[0] {
@@ -272,8 +297,9 @@ func TestSingleFlightLoads(t *testing.T) {
 
 func TestConcurrentReadsUnderTinyBudget(t *testing.T) {
 	tbl := buildTable(t, 600, 50) // 12 partitions
-	partSize := int64(tbl.Parts[0].SizeBytes())
-	r := openStore(t, writeStore(t, tbl), partSize+1) // thrash: one partition fits
+	data := writeStore(t, tbl)
+	partSize := encodedPartSize(t, openStore(t, data, -1), 0)
+	r := openStore(t, data, partSize+1) // thrash: one partition fits
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -287,7 +313,7 @@ func TestConcurrentReadsUnderTinyBudget(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if p.Num[0][0] != tbl.Parts[pi].Num[0][0] {
+				if p.NumCol(0)[0] != tbl.Parts[pi].NumCol(0)[0] {
 					t.Errorf("partition %d decoded wrong data under eviction pressure", pi)
 					return
 				}
@@ -302,7 +328,7 @@ func TestConcurrentReadsUnderTinyBudget(t *testing.T) {
 
 // rebuildFooter re-encodes a mutated footer into valid store bytes, with a
 // correct trailer, so corruption tests exercise exactly one invariant.
-func rebuildFooter(t *testing.T, data []byte, mutate func(*footerWire)) []byte {
+func rebuildFooter(t testing.TB, data []byte, mutate func(*footerWire)) []byte {
 	t.Helper()
 	size := int64(len(data))
 	footerLen := binary.LittleEndian.Uint64(data[size-int64(trailerSize):])
@@ -326,7 +352,10 @@ func rebuildFooter(t *testing.T, data []byte, mutate func(*footerWire)) []byte {
 }
 
 func TestOpenRejectsCorruptFooter(t *testing.T) {
-	valid := writeStore(t, buildTable(t, 140, 40))
+	// The rows/length cross-check is a v1 invariant (v2 block lengths vary
+	// with the data), so these cases run against the raw layout; v2-only
+	// footer validation is covered by TestOpenRejectsCorruptFooterEncoded.
+	valid := writeStoreRaw(t, buildTable(t, 140, 40))
 	cases := []struct {
 		name   string
 		mutate func(*footerWire)
@@ -344,6 +373,32 @@ func TestOpenRejectsCorruptFooter(t *testing.T) {
 		{"block overlaps footer", func(f *footerWire) {
 			f.Blocks[2].Offset += 1 << 30
 		}, "outside the data section"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := rebuildFooter(t, valid, c.mutate)
+			_, err := NewReaderAt(bytes.NewReader(data), int64(len(data)), Options{})
+			if err == nil {
+				t.Fatal("want error for corrupt footer")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsCorruptFooterEncoded(t *testing.T) {
+	valid := writeStore(t, buildTable(t, 140, 40))
+	cases := []struct {
+		name   string
+		mutate func(*footerWire)
+		msg    string
+	}{
+		{"no columns", func(f *footerWire) { f.Cols = nil }, "no columns"},
+		{"negative rows", func(f *footerWire) { f.Blocks[0].Rows = -4 }, "row count"},
+		{"block shorter than column headers", func(f *footerWire) { f.Blocks[1].Length = 3 }, "column headers require"},
+		{"block overlaps footer", func(f *footerWire) { f.Blocks[2].Offset += 1 << 30 }, "outside the data section"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -400,7 +455,8 @@ func TestBlockCorruptionFailsOnRead(t *testing.T) {
 	data := writeStore(t, tbl)
 	// Flip one byte inside partition 1's block: open must still succeed
 	// (the footer is intact) and only Read(1) fails its CRC.
-	data[headerSize+tbl.Parts[0].SizeBytes()+5] ^= 0xff
+	probe := openStore(t, data, 0)
+	data[probe.blocks[1].Offset+5] ^= 0xff
 	r := openStore(t, data, 0)
 	if _, err := r.Read(0); err != nil {
 		t.Fatalf("intact partition: %v", err)

@@ -12,15 +12,40 @@ import (
 	"ps3/internal/table"
 )
 
-// Write streams t to w in the paged store format and returns the number of
-// bytes written. The stream is written strictly forward — header, one block
-// per partition, footer, trailer — so w needs no seeking.
+// WriteOptions configures the store writer.
+type WriteOptions struct {
+	// Raw writes the frozen v1 layout: fixed-width column data, no
+	// per-column encoding. The v1 writer is byte-for-byte the original
+	// format and serves as the bit-identity reference for the encoded
+	// path.
+	Raw bool
+	// Hints, when non-nil, supplies pre-computed per-partition column
+	// statistics (from internal/stats) to the encoding chooser so it can
+	// skip scans. Hints must be exact for the block; they prune work but
+	// never change the chosen encoding. part is the partition's index in
+	// t.Parts, col the schema column index.
+	Hints func(part, col int) (ColHint, bool)
+}
+
+// Write streams t to w in the paged store format (encoded column blocks)
+// and returns the number of bytes written. The stream is written strictly
+// forward — header, one block per partition, footer, trailer — so w needs
+// no seeking.
 func Write(w io.Writer, t *table.Table) (int64, error) {
+	return WriteWith(w, t, WriteOptions{})
+}
+
+// WriteWith is Write with explicit options.
+func WriteWith(w io.Writer, t *table.Table, opts WriteOptions) (int64, error) {
 	cw := &countingWriter{w: w}
 
+	version := uint32(formatVersionEncoded)
+	if opts.Raw {
+		version = formatVersion
+	}
 	var header [headerSize]byte
 	copy(header[:], headerMagic)
-	binary.LittleEndian.PutUint32(header[len(headerMagic):], formatVersion)
+	binary.LittleEndian.PutUint32(header[len(headerMagic):], version)
 	if _, err := cw.Write(header[:]); err != nil {
 		return cw.n, fmt.Errorf("store: write header: %w", err)
 	}
@@ -31,8 +56,17 @@ func Write(w io.Writer, t *table.Table) (int64, error) {
 		Blocks:   make([]blockWire, 0, len(t.Parts)),
 	}
 	var buf []byte
-	for _, p := range t.Parts {
-		buf = encodeBlock(buf[:0], t.Schema, p)
+	for pi, p := range t.Parts {
+		if opts.Raw {
+			buf = encodeBlock(buf[:0], t.Schema, p)
+		} else {
+			var hint func(col int) (ColHint, bool)
+			if opts.Hints != nil {
+				part := pi
+				hint = func(col int) (ColHint, bool) { return opts.Hints(part, col) }
+			}
+			buf = encodeBlockV2(buf[:0], t.Schema, p, hint)
+		}
 		footer.Blocks = append(footer.Blocks, blockWire{
 			Offset: cw.n,
 			Length: int64(len(buf)),
@@ -64,11 +98,16 @@ func Write(w io.Writer, t *table.Table) (int64, error) {
 
 // WriteFile writes t to path in the paged store format.
 func WriteFile(path string, t *table.Table) (int64, error) {
+	return WriteFileWith(path, t, WriteOptions{})
+}
+
+// WriteFileWith is WriteFile with explicit options.
+func WriteFileWith(path string, t *table.Table, opts WriteOptions) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, err
 	}
-	n, err := Write(f, t)
+	n, err := WriteWith(f, t, opts)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,365 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Lightweight per-column block encodings. A partition loaded from an encoded
+// store block keeps compressible columns in their encoded form and decodes a
+// column only when something actually touches its values (NumCol/CatCol);
+// predicate kernels in internal/query evaluate directly on the encoded
+// representation, so a column used only for filtering is never materialized.
+//
+// Three encodings cover the cheap, exactness-preserving wins:
+//
+//   - EncBitPack (categorical): dictionary codes bit-packed at the width of
+//     the block's largest code. Dictionary codes are dense, so most blocks
+//     need a handful of bits instead of 32.
+//   - EncRLE (categorical): run-length (value, cumulative end) pairs, chosen
+//     when the block is sorted or clustered. Runs let kernels emit whole
+//     selection-vector spans without touching rows.
+//   - EncFoR (numeric): frame-of-reference + bit-packing. Applicable when
+//     every value is an integer with |v| <= 2^53 and the block's range fits
+//     53 bits: each value is stored as an unsigned delta from the block
+//     minimum. Under those bounds v - min, min + delta and the packed
+//     comparison constants are all exact in float64, so decoding is
+//     bit-identical to the raw path by construction.
+//
+// Exactness argument for EncFoR: min and every value are integers of
+// magnitude <= 2^53, so they are exactly representable; the delta v - min is
+// an integer in [0, 2^53], also exactly representable, and IEEE-754
+// subtraction of exactly-representable operands with a representable exact
+// result is exact. The same holds for min + delta on decode. There is no
+// rounding anywhere, which is what lets the raw path remain the frozen
+// bit-identity reference.
+
+// EncKind tags an encoded column's representation.
+type EncKind uint8
+
+const (
+	// EncBitPack stores categorical dictionary codes bit-packed at a fixed
+	// width.
+	EncBitPack EncKind = iota + 1
+	// EncRLE stores categorical codes as (value, cumulative end) runs.
+	EncRLE
+	// EncFoR stores integral numeric values as bit-packed deltas from the
+	// block minimum (frame of reference).
+	EncFoR
+)
+
+func (k EncKind) String() string {
+	switch k {
+	case EncBitPack:
+		return "bitpack"
+	case EncRLE:
+		return "rle"
+	case EncFoR:
+		return "for"
+	default:
+		return fmt.Sprintf("EncKind(%d)", uint8(k))
+	}
+}
+
+// MaxPackWidth bounds the bits-per-value of packed encodings so that every
+// extraction is a single aligned-enough 8-byte load: width + 7 shift bits
+// must fit in 64.
+const MaxPackWidth = 56
+
+// packPad is the zero padding appended to packed buffers so At can always
+// load 8 bytes starting at any payload byte.
+const packPad = 8
+
+// EncodedCol is one column of a partition in encoded form. Values are
+// immutable after construction; all methods are safe for concurrent use.
+type EncodedCol struct {
+	// Kind selects the representation.
+	Kind EncKind
+	// Rows is the column's row count.
+	Rows int
+	// Width is the bits per packed value (EncBitPack, EncFoR). May be 0 for
+	// a constant column (all deltas / codes are 0).
+	Width uint8
+	// Min is the frame-of-reference base (EncFoR only), an integer with
+	// |Min| <= 2^53.
+	Min float64
+	// Packed holds the bit-packed values (EncBitPack, EncFoR), padded with
+	// at least packPad zero bytes beyond the payload so per-row extraction
+	// is one 8-byte load.
+	Packed []byte
+	// RunVals / RunEnds are the RLE runs (EncRLE): RunVals[i] repeats for
+	// rows [RunEnds[i-1], RunEnds[i]). RunEnds is strictly increasing and
+	// ends at Rows.
+	RunVals []uint32
+	RunEnds []int32
+
+	// mask selects Width bits.
+	mask uint64
+	// encBytes is the wire-equivalent footprint used for cache accounting.
+	encBytes int
+}
+
+// packedLen returns the payload byte length of rows values at width bits.
+func packedLen(rows int, width uint8) int {
+	return (rows*int(width) + 7) / 8
+}
+
+// padPacked copies payload into a buffer with packPad trailing zero bytes so
+// extraction loads never run past the slice.
+func padPacked(payload []byte) []byte {
+	out := make([]byte, len(payload)+packPad)
+	copy(out, payload)
+	return out
+}
+
+// NewBitPackedCol builds a bit-packed categorical column. packed must hold
+// exactly packedLen(rows, width) payload bytes; it is copied.
+func NewBitPackedCol(rows int, width uint8, packed []byte) (*EncodedCol, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("table: bit-packed column with %d rows", rows)
+	}
+	if width > 32 {
+		return nil, fmt.Errorf("table: bit-packed dictionary codes need width <= 32, got %d", width)
+	}
+	if want := packedLen(rows, width); len(packed) != want {
+		return nil, fmt.Errorf("table: bit-packed payload is %d bytes, %d rows at %d bits need %d",
+			len(packed), rows, width, want)
+	}
+	e := &EncodedCol{
+		Kind:     EncBitPack,
+		Rows:     rows,
+		Width:    width,
+		Packed:   padPacked(packed),
+		mask:     widthMask(width),
+		encBytes: 1 + len(packed),
+	}
+	return e, nil
+}
+
+// NewRLECol builds a run-length categorical column. ends must be strictly
+// increasing and end at rows; vals and ends must have equal length (zero
+// only when rows is zero). Both slices are retained.
+func NewRLECol(rows int, vals []uint32, ends []int32) (*EncodedCol, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("table: RLE column with %d rows", rows)
+	}
+	if len(vals) != len(ends) {
+		return nil, fmt.Errorf("table: RLE column has %d values for %d run ends", len(vals), len(ends))
+	}
+	if rows == 0 {
+		if len(ends) != 0 {
+			return nil, fmt.Errorf("table: RLE column has %d runs for 0 rows", len(ends))
+		}
+	} else if len(ends) == 0 {
+		return nil, fmt.Errorf("table: RLE column has no runs for %d rows", rows)
+	}
+	prev := int32(0)
+	for i, end := range ends {
+		if end <= prev {
+			return nil, fmt.Errorf("table: RLE run %d ends at %d, not after %d", i, end, prev)
+		}
+		prev = end
+	}
+	if rows > 0 && int(prev) != rows {
+		return nil, fmt.Errorf("table: RLE runs cover %d rows, column has %d", prev, rows)
+	}
+	return &EncodedCol{
+		Kind:     EncRLE,
+		Rows:     rows,
+		RunVals:  vals,
+		RunEnds:  ends,
+		encBytes: 4 + 8*len(vals),
+	}, nil
+}
+
+// NewFoRCol builds a frame-of-reference numeric column. min must be an
+// integer with |min| <= 2^53 and width <= 53 so that every delta and
+// reconstruction is exact; packed must hold exactly packedLen(rows, width)
+// payload bytes and is copied.
+func NewFoRCol(rows int, min float64, width uint8, packed []byte) (*EncodedCol, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("table: FoR column with %d rows", rows)
+	}
+	if width > 53 {
+		return nil, fmt.Errorf("table: FoR width %d exceeds the 53-bit exactness bound", width)
+	}
+	if min != math.Trunc(min) || math.Abs(min) > 1<<53 {
+		return nil, fmt.Errorf("table: FoR base %v is not an integer within 2^53", min)
+	}
+	if want := packedLen(rows, width); len(packed) != want {
+		return nil, fmt.Errorf("table: FoR payload is %d bytes, %d rows at %d bits need %d",
+			len(packed), rows, width, want)
+	}
+	return &EncodedCol{
+		Kind:     EncFoR,
+		Rows:     rows,
+		Width:    width,
+		Min:      min,
+		Packed:   padPacked(packed),
+		mask:     widthMask(width),
+		encBytes: 1 + 8 + len(packed),
+	}, nil
+}
+
+// widthMask returns a mask of width low bits.
+func widthMask(width uint8) uint64 {
+	if width == 0 {
+		return 0
+	}
+	return math.MaxUint64 >> (64 - uint(width))
+}
+
+// IsNumeric reports whether the encoding carries numeric (float64) values.
+func (e *EncodedCol) IsNumeric() bool { return e.Kind == EncFoR }
+
+// EncodedBytes returns the wire-equivalent footprint of the encoded column —
+// what the cache charges for keeping it resident.
+func (e *EncodedCol) EncodedBytes() int { return e.encBytes }
+
+// Mask returns the packed-value mask ((1 << Width) - 1).
+func (e *EncodedCol) Mask() uint64 { return e.mask }
+
+// At extracts the packed value of row r (EncBitPack: the dictionary code;
+// EncFoR: the delta from Min). r must be in [0, Rows).
+func (e *EncodedCol) At(r int) uint64 {
+	bit := uint64(r) * uint64(e.Width)
+	word := binary.LittleEndian.Uint64(e.Packed[bit>>3:])
+	return (word >> (bit & 7)) & e.mask
+}
+
+// DecodeNum materializes an EncFoR column as float64 values.
+func (e *EncodedCol) DecodeNum() []float64 {
+	out := make([]float64, e.Rows)
+	min := e.Min
+	for r := range out {
+		out[r] = min + float64(e.At(r))
+	}
+	return out
+}
+
+// DecodeCat materializes an EncBitPack or EncRLE column as dictionary codes.
+func (e *EncodedCol) DecodeCat() []uint32 {
+	out := make([]uint32, e.Rows)
+	if e.Kind == EncRLE {
+		start := int32(0)
+		for i, v := range e.RunVals {
+			end := e.RunEnds[i]
+			for r := start; r < end; r++ {
+				out[r] = v
+			}
+			start = end
+		}
+		return out
+	}
+	for r := range out {
+		out[r] = uint32(e.At(r))
+	}
+	return out
+}
+
+// MaxCode returns the largest dictionary code a categorical encoding can
+// yield, scanning the packed values (EncBitPack) or runs (EncRLE). Decoders
+// use it to validate untrusted blocks against the dictionary without
+// materializing the column.
+func (e *EncodedCol) MaxCode() uint32 {
+	var max uint32
+	switch e.Kind {
+	case EncRLE:
+		for _, v := range e.RunVals {
+			if v > max {
+				max = v
+			}
+		}
+	case EncBitPack:
+		for r := 0; r < e.Rows; r++ {
+			if v := uint32(e.At(r)); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// DecodeStats counts lazy column materializations — the decode work the
+// encoded-space kernels exist to avoid. A store reader shares one across
+// every partition it serves.
+type DecodeStats struct {
+	cols  atomic.Int64
+	bytes atomic.Int64
+}
+
+// Add records one column materialization of the given decoded size.
+func (d *DecodeStats) Add(bytes int) {
+	d.cols.Add(1)
+	d.bytes.Add(int64(bytes))
+}
+
+// Snapshot returns the materialized column count and decoded bytes.
+func (d *DecodeStats) Snapshot() (cols, bytes int64) {
+	return d.cols.Load(), d.bytes.Load()
+}
+
+// lazyCol memoizes one encoded column's materialization. The decoded slice
+// is written exactly once inside the sync.Once, so concurrent NumCol/CatCol
+// calls are race-free.
+type lazyCol struct {
+	once sync.Once
+	num  []float64
+	cat  []uint32
+}
+
+// MakeEncodedPartition assembles a partition whose columns are a mix of
+// decoded slices and encoded columns: the decode path for store blocks that
+// keep compressible columns packed. For each schema column exactly one of
+// {num[c], cat[c], enc[c]} must be populated, on the side matching the
+// column kind, covering exactly rows values. Encoded payloads must already
+// be validated (codes in dictionary range): materialization through
+// NumCol/CatCol cannot fail. ds, when non-nil, is charged for every lazy
+// materialization.
+func MakeEncodedPartition(s *Schema, id, rows int, num [][]float64, cat [][]uint32, enc []*EncodedCol, ds *DecodeStats) (*Partition, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("table: partition %d has negative row count %d", id, rows)
+	}
+	if len(num) != s.NumCols() || len(cat) != s.NumCols() || len(enc) != s.NumCols() {
+		return nil, fmt.Errorf("table: partition %d has %d/%d/%d column entries, schema has %d",
+			id, len(num), len(cat), len(enc), s.NumCols())
+	}
+	anyEnc := false
+	for c, col := range s.Cols {
+		e := enc[c]
+		if e != nil {
+			if len(num[c]) != 0 || len(cat[c]) != 0 {
+				return nil, fmt.Errorf("table: partition %d column %q is both encoded and decoded", id, col.Name)
+			}
+			if e.IsNumeric() != col.IsNumeric() {
+				return nil, fmt.Errorf("table: partition %d column %q: %s encoding on a %s column",
+					id, col.Name, e.Kind, col.Kind)
+			}
+			if e.Rows != rows {
+				return nil, fmt.Errorf("table: partition %d column %q encodes %d rows, partition has %d",
+					id, col.Name, e.Rows, rows)
+			}
+			anyEnc = true
+			continue
+		}
+		want, got := rows, len(num[c])
+		other := len(cat[c])
+		if !col.IsNumeric() {
+			got, other = len(cat[c]), len(num[c])
+		}
+		if got != want || other != 0 {
+			return nil, fmt.Errorf("table: partition %d column %q has %d values for %d rows",
+				id, col.Name, got, want)
+		}
+	}
+	p := &Partition{ID: id, Num: num, Cat: cat, rows: rows}
+	if anyEnc {
+		p.enc = enc
+		p.lazy = make([]lazyCol, s.NumCols())
+		p.decStats = ds
+	}
+	return p, nil
+}

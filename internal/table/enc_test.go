@@ -1,0 +1,351 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// packValues bit-packs vals at the given width, mirroring the store writer's
+// layout so constructor round-trips can be checked against known inputs.
+func packValues(vals []uint64, width uint8) []byte {
+	n := packedLen(len(vals), width)
+	buf := make([]byte, n+8)
+	for r, v := range vals {
+		bit := r * int(width)
+		at := bit >> 3
+		cur := uint64(0)
+		for i := 0; i < 8; i++ {
+			cur |= uint64(buf[at+i]) << (8 * i)
+		}
+		cur |= v << (bit & 7)
+		for i := 0; i < 8; i++ {
+			buf[at+i] = byte(cur >> (8 * i))
+		}
+	}
+	return buf[:n]
+}
+
+func TestBitPackedColRoundTrip(t *testing.T) {
+	vals := []uint64{0, 5, 3, 7, 7, 1, 0, 6, 2}
+	e, err := NewBitPackedCol(len(vals), 3, packValues(vals, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range vals {
+		if got := e.At(r); got != v {
+			t.Fatalf("At(%d) = %d, want %d", r, got, v)
+		}
+	}
+	codes := e.DecodeCat()
+	for r, v := range vals {
+		if codes[r] != uint32(v) {
+			t.Fatalf("DecodeCat[%d] = %d, want %d", r, codes[r], v)
+		}
+	}
+	if got := e.MaxCode(); got != 7 {
+		t.Fatalf("MaxCode = %d, want 7", got)
+	}
+	if want := 1 + packedLen(len(vals), 3); e.EncodedBytes() != want {
+		t.Fatalf("EncodedBytes = %d, want %d", e.EncodedBytes(), want)
+	}
+}
+
+func TestBitPackedColZeroWidth(t *testing.T) {
+	// A constant-zero column packs at width 0: no payload at all.
+	e, err := NewBitPackedCol(100, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		if e.At(r) != 0 {
+			t.Fatalf("At(%d) = %d, want 0", r, e.At(r))
+		}
+	}
+	if e.MaxCode() != 0 {
+		t.Fatalf("MaxCode = %d, want 0", e.MaxCode())
+	}
+}
+
+func TestBitPackedColRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   int
+		width  uint8
+		packed []byte
+		msg    string
+	}{
+		{"negative rows", -1, 4, nil, "rows"},
+		{"width over 32", 4, 33, make([]byte, 17), "width <= 32"},
+		{"payload too short", 8, 8, make([]byte, 7), "payload"},
+		{"payload too long", 8, 8, make([]byte, 9), "payload"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewBitPackedCol(c.rows, c.width, c.packed)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+func TestRLEColRoundTrip(t *testing.T) {
+	// codes: 4 4 4 9 2 2
+	e, err := NewRLECol(6, []uint32{4, 9, 2}, []int32{3, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{4, 4, 4, 9, 2, 2}
+	got := e.DecodeCat()
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("DecodeCat[%d] = %d, want %d", r, got[r], want[r])
+		}
+	}
+	if e.MaxCode() != 9 {
+		t.Fatalf("MaxCode = %d, want 9", e.MaxCode())
+	}
+	if want := 4 + 8*3; e.EncodedBytes() != want {
+		t.Fatalf("EncodedBytes = %d, want %d", e.EncodedBytes(), want)
+	}
+}
+
+func TestRLEColRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		rows int
+		vals []uint32
+		ends []int32
+		msg  string
+	}{
+		{"negative rows", -1, nil, nil, "rows"},
+		{"length mismatch", 6, []uint32{1, 2}, []int32{6}, "values for"},
+		{"runs on empty column", 0, []uint32{1}, []int32{1}, "runs for 0 rows"},
+		{"no runs", 6, nil, nil, "no runs"},
+		{"non-increasing ends", 6, []uint32{1, 2, 3}, []int32{3, 3, 6}, "not after"},
+		{"zero first end", 6, []uint32{1, 2}, []int32{0, 6}, "not after"},
+		{"runs underrun rows", 6, []uint32{1, 2}, []int32{2, 5}, "cover"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewRLECol(c.rows, c.vals, c.ends)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+func TestFoRColRoundTrip(t *testing.T) {
+	// Values 1000 1001 1000 1017 1004: min 1000, deltas fit 5 bits.
+	deltas := []uint64{0, 1, 0, 17, 4}
+	e, err := NewFoRCol(len(deltas), 1000, 5, packValues(deltas, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsNumeric() {
+		t.Fatal("FoR column must report numeric")
+	}
+	want := []float64{1000, 1001, 1000, 1017, 1004}
+	got := e.DecodeNum()
+	for r := range want {
+		if math.Float64bits(got[r]) != math.Float64bits(want[r]) {
+			t.Fatalf("DecodeNum[%d] = %v, want %v", r, got[r], want[r])
+		}
+	}
+}
+
+// TestFoRColExactAtBounds pins the exactness argument at its extremes: a
+// negative base, a 53-bit delta range, and values at ±2^53 all decode
+// bit-identically.
+func TestFoRColExactAtBounds(t *testing.T) {
+	min := -float64(1 << 53)
+	deltas := []uint64{0, 1, 1<<53 - 1, 1 << 53}
+	// width 54 would break the bound; 1<<53 needs 54 bits, so drop it.
+	deltas = deltas[:3]
+	e, err := NewFoRCol(len(deltas), min, 53, packValues(deltas, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, d := range deltas {
+		want := min + float64(d)
+		if got := min + float64(e.At(r)); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("row %d: %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestFoRColRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   int
+		min    float64
+		width  uint8
+		packed []byte
+		msg    string
+	}{
+		{"negative rows", -1, 0, 0, nil, "rows"},
+		{"width over 53", 2, 0, 54, make([]byte, 14), "53-bit"},
+		{"fractional base", 2, 1.5, 4, make([]byte, 1), "integer"},
+		{"base beyond 2^53", 2, float64(1 << 54), 4, make([]byte, 1), "integer"},
+		{"NaN base", 2, math.NaN(), 4, make([]byte, 1), "integer"},
+		{"payload too short", 8, 0, 8, make([]byte, 7), "payload"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewFoRCol(c.rows, c.min, c.width, c.packed)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+func encTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Column{Name: "n", Kind: Numeric},
+		Column{Name: "c", Kind: Categorical},
+	)
+}
+
+func TestMakeEncodedPartitionRejects(t *testing.T) {
+	s := encTestSchema(t)
+	forCol, err := NewFoRCol(4, 0, 2, packValues([]uint64{0, 1, 2, 3}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpCol, err := NewBitPackedCol(4, 2, packValues([]uint64{3, 0, 1, 2}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortBP, err := NewBitPackedCol(3, 2, packValues([]uint64{0, 1, 2}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nums := []float64{1, 2, 3, 4}
+	codes := []uint32{0, 1, 0, 1}
+
+	cases := []struct {
+		name string
+		num  [][]float64
+		cat  [][]uint32
+		enc  []*EncodedCol
+		msg  string
+	}{
+		{"wrong column count", [][]float64{nums}, [][]uint32{nil}, []*EncodedCol{nil}, "column entries"},
+		{"both encoded and decoded", [][]float64{nums, nil}, [][]uint32{nil, nil},
+			[]*EncodedCol{forCol, bpCol}, "both encoded and decoded"},
+		{"numeric encoding on cat column", [][]float64{nums, nil}, [][]uint32{nil, nil},
+			[]*EncodedCol{nil, forCol}, "for encoding on a categorical"},
+		{"cat encoding on numeric column", [][]float64{nil, nil}, [][]uint32{nil, codes},
+			[]*EncodedCol{bpCol, nil}, "bitpack encoding on a numeric"},
+		{"row count mismatch", [][]float64{nums, nil}, [][]uint32{nil, nil},
+			[]*EncodedCol{nil, shortBP}, "encodes 3 rows"},
+		{"decoded slice too short", [][]float64{nums[:2], nil}, [][]uint32{nil, nil},
+			[]*EncodedCol{nil, bpCol}, "2 values for 4 rows"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := MakeEncodedPartition(s, 0, 4, c.num, c.cat, c.enc, nil)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), c.msg) {
+				t.Fatalf("error %q does not mention %q", err, c.msg)
+			}
+		})
+	}
+}
+
+// TestLazyDecodeMemoizedAndCounted asserts the lazy-materialization contract:
+// encoded columns stay nil in the public slices, NumCol/CatCol decode once
+// (same backing slice on every call, DecodeStats charged once), and
+// concurrent first touches are race-free.
+func TestLazyDecodeMemoizedAndCounted(t *testing.T) {
+	s := encTestSchema(t)
+	const rows = 64
+	deltas := make([]uint64, rows)
+	codes := make([]uint64, rows)
+	for r := range deltas {
+		deltas[r] = uint64(r % 13)
+		codes[r] = uint64(r % 5)
+	}
+	forCol, err := NewFoRCol(rows, 100, 4, packValues(deltas, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpCol, err := NewBitPackedCol(rows, 3, packValues(codes, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds DecodeStats
+	p, err := MakeEncodedPartition(s, 7, rows,
+		[][]float64{nil, nil}, [][]uint32{nil, nil},
+		[]*EncodedCol{forCol, bpCol}, &ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Num[0] != nil || p.Cat[1] != nil {
+		t.Fatal("encoded columns must stay nil in the public slices")
+	}
+	if p.EncCol(0) != forCol || p.EncCol(1) != bpCol {
+		t.Fatal("EncCol must expose the encoded representation")
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	numViews := make([][]float64, goroutines)
+	catViews := make([][]uint32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			numViews[g] = p.NumCol(0)
+			catViews[g] = p.CatCol(1)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if &numViews[g][0] != &numViews[0][0] || &catViews[g][0] != &catViews[0][0] {
+			t.Fatal("concurrent decoders got distinct materializations")
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if numViews[0][r] != 100+float64(r%13) {
+			t.Fatalf("NumCol[%d] = %v", r, numViews[0][r])
+		}
+		if catViews[0][r] != uint32(r%5) {
+			t.Fatalf("CatCol[%d] = %d", r, catViews[0][r])
+		}
+	}
+	cols, bytes := ds.Snapshot()
+	if cols != 2 {
+		t.Fatalf("DecodeStats cols = %d, want 2 (one per column, memoized)", cols)
+	}
+	if want := int64(8*rows + 4*rows); bytes != want {
+		t.Fatalf("DecodeStats bytes = %d, want %d", bytes, want)
+	}
+	if p.NumCol(1) != nil || p.CatCol(0) != nil {
+		t.Fatal("wrong-kind accessors must return nil")
+	}
+	// SizeBytes reports the decoded footprint; EncodedSizeBytes the resident
+	// wire footprint the cache charges.
+	if want := 8*rows + 4*rows; p.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", p.SizeBytes(), want)
+	}
+	if want := forCol.EncodedBytes() + bpCol.EncodedBytes(); p.EncodedSizeBytes() != want {
+		t.Fatalf("EncodedSizeBytes = %d, want %d", p.EncodedSizeBytes(), want)
+	}
+}

