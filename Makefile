@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke serve-bench vet fmt-check verify
+.PHONY: build test race race-serve bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke serve-bench vet fmt-check lint verify
 
 build:
 	$(GO) build ./...
@@ -92,9 +92,18 @@ serve-bench:
 vet: fmt-check
 	$(GO) vet ./...
 
+# Custom invariant linters (internal/analyzers, driven by cmd/ps3lint):
+# mapiter (determinism), decodebypass (lazy-decode seam), scratchescape
+# (pooled scratch ownership), panicfree (untrusted decode), nakedgo
+# (concurrency choke point) over the whole module, test files included.
+# Exits nonzero on any finding not suppressed by a justified
+# //lint:<name>-ok directive.
+lint:
+	$(GO) run ./cmd/ps3lint ./...
+
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-verify: build vet test
+verify: build vet lint test

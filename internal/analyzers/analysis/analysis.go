@@ -1,0 +1,168 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write typed AST
+// checkers, run them over type-checked packages, and suppress individual
+// findings with justified source directives.
+//
+// The repo cannot vendor x/tools (the container has no module cache and no
+// network), so the Analyzer/Pass/Diagnostic shapes below deliberately mirror
+// the x/tools API: an analyzer written against this package ports to the real
+// multichecker by changing imports. The one extension is first-class
+// suppression directives:
+//
+//	//lint:<name>-ok <justification>
+//
+// placed on the flagged line or on its own line immediately above suppresses
+// that analyzer's finding at that line. The justification is mandatory — a
+// bare directive does not suppress and is itself reported — so every escape
+// hatch in the tree carries its reasoning next to the code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in its suppression
+	// directive //lint:<Name>-ok.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards.
+	Doc string
+
+	// IncludeTests marks analyzers whose invariant binds _test.go files
+	// too. The driver runs these over test variants of each package.
+	IncludeTests bool
+
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass supplies one type-checked package to an analyzer and collects its
+// findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// TestFiles, when non-nil, restricts reporting to the named files
+	// (base names): the pass is a test variant and the base package's
+	// findings were already reported by the primary pass.
+	TestFiles map[string]bool
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.TestFiles != nil && !p.TestFiles[baseName(position.Filename)] {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: position, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// directiveRe matches suppression directives. The analyzer name is group 1,
+// the justification group 2.
+var directiveRe = regexp.MustCompile(`^//lint:([a-z][a-z0-9]*)-ok(?:[ \t]+(\S.*))?$`)
+
+// directive is one parsed //lint:<name>-ok comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Position
+}
+
+// collectDirectives parses every suppression directive in the pass's files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var ds []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				ds = append(ds, directive{name: m[1], reason: strings.TrimSpace(m[2]), pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	return ds
+}
+
+// Run executes analyzer a over the package described by pass, applies
+// suppression directives, and returns the surviving findings sorted by
+// position. Directives without a justification never suppress and are
+// reported as findings themselves (when they name this analyzer).
+func Run(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	pass.Analyzer = a
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	// Index this analyzer's justified directives by (file, line).
+	type key struct {
+		file string
+		line int
+	}
+	justified := map[key]bool{}
+	var out []Diagnostic
+	for _, d := range collectDirectives(pass.Fset, pass.Files) {
+		if d.name != a.Name {
+			continue
+		}
+		if pass.TestFiles != nil && !pass.TestFiles[baseName(d.pos.Filename)] {
+			continue
+		}
+		if d.reason == "" {
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: fmt.Sprintf("directive //lint:%s-ok needs a justification and does not suppress without one", a.Name)})
+			continue
+		}
+		justified[key{d.pos.Filename, d.pos.Line}] = true
+	}
+	for _, diag := range pass.diags {
+		// A directive suppresses findings on its own line (trailing
+		// comment) or on the line below (standalone comment above).
+		if justified[key{diag.Pos.Filename, diag.Pos.Line}] ||
+			justified[key{diag.Pos.Filename, diag.Pos.Line - 1}] {
+			continue
+		}
+		out = append(out, diag)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// demoAnalyzer reports one finding per top-level var declaration, giving the
+// directive machinery something deterministic to suppress.
+func demoAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "demo",
+		Doc:  "test analyzer: flags every top-level var",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if g, ok := d.(*ast.GenDecl); ok && g.Tok == token.VAR {
+						pass.Reportf(g.Pos(), "var found")
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func runDemo(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "demo.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(demoAnalyzer(), &Pass{Fset: fset, Files: []*ast.File{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestDirectiveSuppressesOnSameLine(t *testing.T) {
+	diags := runDemo(t, `package p
+
+var A = 1 //lint:demo-ok justified for the test
+
+var B = 2
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "var found") || diags[0].Pos.Line != 5 {
+		t.Fatalf("want only B's finding at line 5, got %v", diags)
+	}
+}
+
+func TestDirectiveSuppressesFromLineAbove(t *testing.T) {
+	diags := runDemo(t, `package p
+
+//lint:demo-ok justified for the test
+var A = 1
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no findings, got %v", diags)
+	}
+}
+
+func TestBareDirectiveDoesNotSuppress(t *testing.T) {
+	diags := runDemo(t, `package p
+
+//lint:demo-ok
+var A = 1
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want the unjustified directive plus the unsuppressed finding, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a justification") {
+		t.Fatalf("first diagnostic should be the bare directive, got %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "var found") {
+		t.Fatalf("second diagnostic should be the surviving finding, got %q", diags[1].Message)
+	}
+}
+
+func TestForeignDirectiveDoesNotSuppress(t *testing.T) {
+	diags := runDemo(t, `package p
+
+var A = 1 //lint:other-ok belongs to a different analyzer
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "var found") {
+		t.Fatalf("a different analyzer's directive must not suppress, got %v", diags)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	diags := runDemo(t, `package p
+
+var B = 2
+var A = 1
+`)
+	if len(diags) != 2 || diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics must be position-sorted, got %v", diags)
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncGraph is a package-local over-approximation of the call graph: an edge
+// exists from a function declaration to every same-package function it
+// mentions at all (called directly, deferred, passed as a value, stored in a
+// struct — any identifier use). Mentions over-approximate calls, which is the
+// right direction for a linter: code is considered reachable unless nothing
+// refers to it.
+type FuncGraph struct {
+	// Decls maps each declared function/method object to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Mentions maps each declaration to the same-package functions its body
+	// (or field/receiver expressions) refers to.
+	Mentions map[*ast.FuncDecl][]*types.Func
+}
+
+// BuildFuncGraph scans the pass's files and builds the mention graph.
+func BuildFuncGraph(pass *Pass) *FuncGraph {
+	g := &FuncGraph{
+		Decls:    map[*types.Func]*ast.FuncDecl{},
+		Mentions: map[*ast.FuncDecl][]*types.Func{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[obj] = fd
+			}
+		}
+	}
+	//lint:mapiter-ok fills independent per-declaration mention lists; no ordered output
+	for _, fd := range g.Decls {
+		fd := fd
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || obj.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, declared := g.Decls[obj]; declared {
+				g.Mentions[fd] = append(g.Mentions[fd], obj)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Reachable returns the set of declarations reachable from the roots selected
+// by isRoot, following Mentions transitively.
+func (g *FuncGraph) Reachable(isRoot func(fd *ast.FuncDecl) bool) map[*ast.FuncDecl]bool {
+	reached := map[*ast.FuncDecl]bool{}
+	var stack []*ast.FuncDecl
+	//lint:mapiter-ok computes a reachable set; the set is order-free even though traversal order varies
+	for _, fd := range g.Decls {
+		if isRoot(fd) && !reached[fd] {
+			reached[fd] = true
+			stack = append(stack, fd)
+		}
+	}
+	for len(stack) > 0 {
+		fd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range g.Mentions[fd] {
+			cd := g.Decls[callee]
+			if cd != nil && !reached[cd] {
+				reached[cd] = true
+				stack = append(stack, cd)
+			}
+		}
+	}
+	return reached
+}
+
+// ExportedAPIRoot reports whether fd is part of the package's externally
+// reachable surface under the conservative rule used by the ordered-output
+// analyzers: every exported function, every method (methods of any type may
+// be invoked through interfaces — sort.Interface, io.Writer — without a
+// static in-package call site), and init/main.
+func ExportedAPIRoot(fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		return true
+	}
+	return fd.Name.IsExported() || fd.Name.Name == "init" || fd.Name.Name == "main"
+}
+
+// FuncFor returns the FuncDecl in f that contains node n, or nil.
+func FuncFor(f *ast.File, n ast.Node) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Pos() <= n.Pos() && n.End() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

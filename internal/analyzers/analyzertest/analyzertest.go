@@ -1,0 +1,221 @@
+// Package analyzertest runs an analyzer over fixture packages and checks its
+// findings against `// want` comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixtures live under <dir>/src/<pkgpath>/*.go. Every line that should be
+// flagged carries a trailing comment
+//
+//	// want "regexp"
+//
+// (several patterns for several findings on one line). The runner fails the
+// test if a finding has no matching want on its line, or a want goes
+// unmatched. Suppression directives (//lint:<name>-ok reason) are exercised
+// naturally: a suppressed line simply carries no want.
+//
+// Fixture packages are type-checked hermetically: they may import sibling
+// fixture packages by their directory path, but not the standard library —
+// keeping the harness free of export-data plumbing and the fixtures
+// self-contained. Run under plain `go test ./...`, so tier-1 exercises every
+// analyzer.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ps3/internal/analyzers/analysis"
+)
+
+// Run analyzes each fixture package (by path under dir/src) and reports
+// mismatches between findings and want comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &fixtureLoader{root: filepath.Join(dir, "src"), fset: token.NewFileSet(), pkgs: map[string]*fixturePkg{}}
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			p, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", path, err)
+			}
+			pass := &analysis.Pass{Fset: ld.fset, Files: p.files, Pkg: p.pkg, Info: p.info}
+			diags, err := analysis.Run(a, pass)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			checkWants(t, ld.fset, p.files, diags)
+		})
+	}
+}
+
+// fixturePkg is one parsed and type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader resolves fixture imports among sibling fixture directories.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+}
+
+func (ld *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer over sibling fixture packages. "sort" and
+// "slices" resolve to tiny stubs so fixtures can exercise the sorted-key
+// idiom hermetically.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "sort" || path == "slices" {
+		return stubSortPackage(path), nil
+	}
+	p, err := ld.load(path)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q (fixtures may only import sibling fixtures, sort, or slices): %w", path, err)
+	}
+	p.pkg.MarkComplete()
+	return p.pkg, nil
+}
+
+// stubSortPackage fabricates a minimal "sort"/"slices" package exposing
+// Strings/Ints/Sort so fixtures can reference sorting without the real
+// standard library.
+func stubSortPackage(path string) *types.Package {
+	pkg := types.NewPackage(path, path)
+	scope := pkg.Scope()
+	strSlice := types.NewSlice(types.Typ[types.String])
+	intSlice := types.NewSlice(types.Typ[types.Int])
+	mk := func(name string, param types.Type) {
+		sig := types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, pkg, "x", param)), nil, false)
+		scope.Insert(types.NewFunc(token.NoPos, pkg, name, sig))
+	}
+	mk("Strings", strSlice)
+	mk("Ints", intSlice)
+	mk("Sort", types.NewInterfaceType(nil, nil))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// wantRe extracts the quoted patterns of a want comment. Both analysistest
+// quoting forms are accepted: interpreted strings ("...") and raw strings
+// (`...`, convenient for patterns full of regexp metacharacters).
+var wantRe = regexp.MustCompile("^// want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+
+var wantPatRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants matches findings against want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re   *regexp.Regexp
+		pos  string
+		used bool
+	}
+	wants := map[key][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, tok := range wantPatRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], &want{re: re, pos: pos.String()})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", d.Pos, d.Message)
+		}
+	}
+	var missed []string
+	//lint:mapiter-ok collected messages are fully sorted below before reporting
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				missed = append(missed, fmt.Sprintf("%s: no finding matched want %q", w.pos, w.re.String()))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,159 @@
+// Package decodebypass guards the lazy-decode seam introduced in PR 7.
+//
+// table.Partition keeps encoded columns in a private side store; the public
+// Num/Cat fields stay nil for those columns so that nothing can observe a
+// half-materialized slice without synchronization. The contract is that all
+// reads go through the accessors (NumCol, CatCol, EncCol, Decoded,
+// DecodedCols), which materialize lazily under a sync.Once and charge
+// DecodeStats. Any direct touch of the raw fields — read, write, or
+// composite-literal key — outside the whitelisted decode/materialize sites
+// bypasses that seam: on an encoded partition it sees nil where data exists,
+// and on a shared partition it races with materialization.
+//
+// The analyzer flags every selector of the protected fields and every keyed
+// use in a Partition composite literal, in ordinary and _test.go files alike
+// (tests poke representations more than anyone), except inside the functions
+// named in Config.Allowed. Escape hatch: //lint:decodebypass-ok <reason>,
+// for tests that assert the physical representation itself.
+package decodebypass
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ps3/internal/analyzers/analysis"
+)
+
+// Config identifies the protected struct and the sanctioned access sites.
+type Config struct {
+	// PkgName and TypeName name the protected struct by its defining
+	// package's name and the type's name (the type may be unexported in
+	// testdata fixtures, so matching is by name, not import path).
+	PkgName  string
+	TypeName string
+	// Fields are the protected field names.
+	Fields []string
+	// Allowed holds types.Func.FullName() strings of the functions that
+	// legitimately touch the raw fields: the accessors themselves, the
+	// validated constructors, and the representation-size accounting.
+	Allowed map[string]bool
+}
+
+// DefaultConfig protects table.Partition.Num/Cat, whitelisting only the
+// decode path: the lazy accessors, the validated constructors, the builder's
+// ingest append, and the two size accountants that price the representation.
+func DefaultConfig() Config {
+	return Config{
+		PkgName:  "table",
+		TypeName: "Partition",
+		Fields:   []string{"Num", "Cat"},
+		Allowed: map[string]bool{
+			"(*ps3/internal/table.Partition).Cols":             true,
+			"(*ps3/internal/table.Partition).NumCol":           true,
+			"(*ps3/internal/table.Partition).CatCol":           true,
+			"(*ps3/internal/table.Partition).Decoded":          true,
+			"(*ps3/internal/table.Partition).DecodedCols":      true,
+			"(*ps3/internal/table.Partition).SizeBytes":        true,
+			"(*ps3/internal/table.Partition).EncodedSizeBytes": true,
+			"(*ps3/internal/table.Builder).Append":             true,
+			"ps3/internal/table.NewPartition":                  true,
+			"ps3/internal/table.MakePartition":                 true,
+			"ps3/internal/table.MakeEncodedPartition":          true,
+		},
+	}
+}
+
+// Analyzer is the repo-configured instance.
+var Analyzer = New(DefaultConfig())
+
+// New builds a decodebypass analyzer for the given protected struct.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         "decodebypass",
+		Doc:          "flags direct access to table.Partition.Num/Cat outside the whitelisted decode sites (PR-7 lazy-decode seam)",
+		IncludeTests: true,
+		Run:          func(pass *analysis.Pass) error { return run(cfg, pass) },
+	}
+}
+
+func run(cfg Config, pass *analysis.Pass) error {
+	protected := map[string]bool{}
+	for _, f := range cfg.Fields {
+		protected[f] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := sel.Obj().(*types.Var)
+				if !ok || !protected[field.Name()] || !isProtectedStruct(cfg, sel.Recv()) {
+					return true
+				}
+				if allowedSite(cfg, pass, f, n) {
+					return true
+				}
+				pass.Reportf(n.Sel.Pos(),
+					"direct access to %s.%s.%s bypasses the lazy-decode seam; use the accessors (NumCol/CatCol/EncCol/Decoded/DecodedCols) or justify with //lint:decodebypass-ok",
+					cfg.PkgName, cfg.TypeName, field.Name())
+			case *ast.CompositeLit:
+				t := pass.TypeOf(n)
+				if t == nil || !isProtectedStruct(cfg, t) {
+					return true
+				}
+				if allowedSite(cfg, pass, f, n) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !protected[key.Name] {
+						continue
+					}
+					pass.Reportf(key.Pos(),
+						"composite literal sets %s.%s.%s directly, bypassing the validated constructors; use MakePartition/MakeEncodedPartition or justify with //lint:decodebypass-ok",
+						cfg.PkgName, cfg.TypeName, key.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isProtectedStruct reports whether t (possibly behind pointers) is the
+// configured struct type.
+func isProtectedStruct(cfg Config, t types.Type) bool {
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == cfg.TypeName && obj.Pkg() != nil && obj.Pkg().Name() == cfg.PkgName
+}
+
+// allowedSite reports whether node n sits inside a whitelisted function.
+func allowedSite(cfg Config, pass *analysis.Pass, f *ast.File, n ast.Node) bool {
+	fd := analysis.FuncFor(f, n)
+	if fd == nil {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return cfg.Allowed[obj.FullName()]
+}

@@ -1,0 +1,23 @@
+// Package use consumes partitions through and around the lazy-decode seam.
+package use
+
+import "table"
+
+// Sum reads through the accessor: clean.
+func Sum(p *table.Partition) float64 {
+	var s float64
+	for _, v := range p.NumCol(0) {
+		s += v
+	}
+	return s
+}
+
+// Raw bypasses the seam and sees nil where an encoded column has data.
+func Raw(p *table.Partition) []float64 {
+	return p.Num[0] // want `direct access to table.Partition.Num`
+}
+
+// Asserted pokes the representation deliberately, with the reason attached.
+func Asserted(p *table.Partition) bool {
+	return p.Num[0] == nil //lint:decodebypass-ok asserts the physical representation itself
+}

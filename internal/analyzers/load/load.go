@@ -1,0 +1,202 @@
+// Package load type-checks the module's packages for the analyzers without
+// golang.org/x/tools/go/packages, which this repo cannot depend on (no
+// module cache, no network). It leans on the go command for everything the
+// toolchain already knows: `go list -json -export -deps` enumerates the
+// packages matched by the patterns plus their full dependency closure, and
+// — because -export compiles them — hands back an export-data file per
+// dependency in the build cache. Each target package is then parsed from
+// source and type-checked with go/types, importing dependencies through
+// go/importer's gc lookup mode from those export files. The result is the
+// same (Files, Pkg, Info) triple a go/analysis driver would provide.
+//
+// With -test, go list additionally emits test variants ("pkg [pkg.test]"
+// recompilations including _test.go files and "pkg_test" external test
+// packages); these load the same way, with the variant's ImportMap steering
+// imports to recompiled dependencies, and carry TestFiles so the driver can
+// restrict test-only analyzers to test files and avoid double-reporting.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the package's import path; test variants carry the go
+	// list form "path [path.test]".
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TestFiles is nil for primary packages; for test variants it holds the
+	// base names of the _test.go files (the variant's non-test files were
+	// already analyzed under the primary package).
+	TestFiles map[string]bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	ForTest      string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	ImportMap    map[string]string
+	Standard     bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns in
+// dir (the module root). With includeTests, _test.go variants are loaded
+// too. All packages share one FileSet so positions interleave correctly.
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	modPath, err := goCmd(dir, "list", "-m")
+	if err != nil {
+		return nil, fmt.Errorf("load: resolving module path: %w", err)
+	}
+	modulePath := strings.TrimSpace(string(modPath))
+
+	args := []string{"list", "-json", "-export", "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %w", err)
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		q := p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		switch {
+		case p.Standard:
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			// Synthesized test-main package: generated code, skip.
+		case p.ImportPath == modulePath || strings.HasPrefix(p.ImportPath, modulePath+"/"):
+			targets = append(targets, &q)
+		case p.ForTest == modulePath || strings.HasPrefix(p.ForTest, modulePath+"/"):
+			// External test packages ("pkg_test [pkg.test]").
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range targets {
+		isVariant := lp.ForTest != ""
+		if isVariant && !includeTests {
+			continue
+		}
+		p, err := check(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		if isVariant {
+			p.TestFiles = map[string]bool{}
+			for _, f := range lp.TestGoFiles {
+				p.TestFiles[f] = true
+			}
+			for _, f := range lp.XTestGoFiles {
+				p.TestFiles[f] = true
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package against its dependencies'
+// export data.
+func check(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	// One importer per package: test variants remap shared import paths to
+	// recompiled dependencies via ImportMap, so the export-data cache keyed
+	// by source path cannot be shared across packages.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := conf.Check(strings.TrimSuffix(strings.Split(lp.ImportPath, " ")[0], "_test"), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{ImportPath: lp.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// goCmd runs the go tool in dir and returns stdout, folding stderr into the
+// error.
+func goCmd(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			return nil, err
+		}
+		return nil, errors.New(msg)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package mapiter flags `for range` over maps in code reachable from
+// ordered-output paths.
+//
+// The repo's standing determinism contract — results bit-identical at every
+// exec.Options.Parallelism, snapshot bytes stable run-to-run — dies quietly
+// the moment a float accumulation, merge, or encode loop walks a Go map:
+// iteration order is randomized per run, so low-order bits (or whole output
+// orderings) start depending on it. Two such bugs shipped before PR 1 fixed
+// them (stats selectivity folding, metrics.Compare — the latter flipped
+// greedy feature selection run-to-run). This analyzer makes the contract
+// mechanical.
+//
+// Scope: packages matched by Config.Deterministic (by default the ps3
+// library — the root package and everything under internal/ — not cmd/ or
+// examples/, which are presentation). Within a package, a map range is
+// flagged when its enclosing function is reachable from the package's
+// exported API (exported functions, all methods, init/main — see
+// analysis.ExportedAPIRoot).
+//
+// One shape is recognized as safe without a directive: a loop that only
+// collects the map's keys into a slice that is later passed to a sort call
+// in the same function (`for k := range m { ks = append(ks, k) }` ...
+// `sort.Strings(ks)`). Everything else needs either a fix or
+// `//lint:mapiter-ok <why order cannot matter>`.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ps3/internal/analyzers/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Deterministic reports whether a package (by import path) carries the
+	// ordered-output contract.
+	Deterministic func(pkgPath string) bool
+}
+
+// DefaultConfig covers the ps3 library: the facade package and internal/*.
+func DefaultConfig() Config {
+	return Config{Deterministic: func(path string) bool {
+		return path == "ps3" || strings.HasPrefix(path, "ps3/internal/")
+	}}
+}
+
+// Analyzer is the repo-configured instance.
+var Analyzer = New(DefaultConfig())
+
+// New builds a mapiter analyzer with the given scope.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "mapiter",
+		Doc:  "flags range-over-map in functions reachable from ordered-output paths (PR-1 determinism contract)",
+		Run:  func(pass *analysis.Pass) error { return run(cfg, pass) },
+	}
+}
+
+func run(cfg Config, pass *analysis.Pass) error {
+	if cfg.Deterministic != nil && !cfg.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	graph := analysis.BuildFuncGraph(pass)
+	reached := graph.Reachable(analysis.ExportedAPIRoot)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			// Package-level declarations have no FuncDecl; anything there
+			// runs on import, so treat it as reachable.
+			fd := analysis.FuncFor(f, rs)
+			if fd != nil && !reached[fd] {
+				return true
+			}
+			if isSortedKeyCollect(pass, fd, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map in %s: iteration order is nondeterministic on an ordered-output path; iterate a sorted key slice or justify with //lint:mapiter-ok",
+				funcLabel(fd))
+			return true
+		})
+	}
+	return nil
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd == nil {
+		return "package initializer"
+	}
+	return fd.Name.Name
+}
+
+// isSortedKeyCollect recognizes the canonical safe idiom: the loop body's
+// only statement appends the range key to a slice variable, and that
+// variable later flows into a sort call within the same function.
+func isSortedKeyCollect(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	if fd == nil || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if src, ok := call.Args[0].(*ast.Ident); !ok || pass.Info.Uses[src] == nil ||
+		pass.Info.Uses[src] != objOf(pass, dst) {
+		return false
+	}
+	if arg, ok := call.Args[1].(*ast.Ident); !ok || objOf(pass, arg) != pass.Info.Defs[keyIdent] {
+		return false
+	}
+	// The collected slice must reach a sort.* / slices.Sort* call after the
+	// loop, still inside this function.
+	dstObj := objOf(pass, dst)
+	if dstObj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, ok := pass.Info.Uses[pkg].(*types.PkgName); !ok ||
+			(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && objOf(pass, arg) == dstObj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// objOf resolves an identifier to its object whether it defines or uses it.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Info.Defs[id]
+}

@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"ps3/internal/analyzers/analyzertest"
+	"ps3/internal/analyzers/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	a := mapiter.New(mapiter.Config{Deterministic: func(path string) bool {
+		return path == "det"
+	}})
+	analyzertest.Run(t, "testdata", a, "det", "free")
+}

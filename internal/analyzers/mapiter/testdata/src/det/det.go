@@ -1,0 +1,90 @@
+// Package det carries the ordered-output contract in the mapiter fixtures.
+package det
+
+import "sort"
+
+// Compare reproduces the PR-1 metrics.Compare bug shape: a float
+// accumulation folded in raw map iteration order. The low-order bits of
+// relSum depend on visit order, which flipped near-tie comparisons in greedy
+// feature selection run to run before PR 1 fixed it.
+func Compare(truth, est map[string][]float64) float64 {
+	var relSum float64
+	for g, tv := range truth { // want `range over map in Compare`
+		ev := est[g]
+		for j := range tv {
+			d := ev[j] - tv[j]
+			if d < 0 {
+				d = -d
+			}
+			relSum += d
+		}
+	}
+	return relSum
+}
+
+// CompareSorted is the fixed shape: collect keys, sort, then fold. The
+// key-collect loop matches the analyzer's sorted-key idiom and needs no
+// directive.
+func CompareSorted(truth, est map[string][]float64) float64 {
+	keys := make([]string, 0, len(truth))
+	for g := range truth {
+		keys = append(keys, g)
+	}
+	sort.Strings(keys)
+	var relSum float64
+	for _, g := range keys {
+		tv, ev := truth[g], est[g]
+		for j := range tv {
+			d := ev[j] - tv[j]
+			if d < 0 {
+				d = -d
+			}
+			relSum += d
+		}
+	}
+	return relSum
+}
+
+// Snapshot reaches a map range through an unexported helper, which inherits
+// the contract transitively.
+func Snapshot(m map[string]int) []string {
+	return encode(m)
+}
+
+func encode(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `range over map in encode`
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// Justified shows the escape hatch: the justification rides with the code.
+func Justified(m map[int]int) int {
+	n := 0
+	//lint:mapiter-ok integer sum is exact and order-free
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// dead is unreachable from the package API, so its map range is out of
+// scope: nothing downstream can observe its iteration order.
+func dead(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Total runs at package initialization, which is always on the contract.
+var Total = func(m map[int]int) int {
+	n := 0
+	for _, v := range m { // want `range over map in package initializer`
+		n += v
+	}
+	return n
+}(map[int]int{1: 1})

@@ -1,0 +1,12 @@
+// Package free sits outside the deterministic scope: its map ranges carry no
+// ordered-output contract and are never flagged.
+package free
+
+// Keys returns the keys in arbitrary order, which is fine here.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

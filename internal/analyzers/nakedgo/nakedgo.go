@@ -1,0 +1,59 @@
+// Package nakedgo confines goroutine creation to the two packages that own
+// concurrency: internal/exec (the bounded worker pool with deterministic
+// ordered merges, PRs 1–2) and internal/serve (the request layer that
+// multiplexes onto it).
+//
+// Everything else must express fan-out through exec's primitives — that is
+// what makes "bit-identical at every Parallelism" checkable at one choke
+// point instead of everywhere. A naked `go` statement elsewhere reintroduces
+// unbounded goroutines, scheduling-order-dependent merges, and scratch
+// shared across workers. Escape hatch: //lint:nakedgo-ok <reason>.
+package nakedgo
+
+import (
+	"go/ast"
+
+	"ps3/internal/analyzers/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Allowed reports whether a package (by import path) may spawn
+	// goroutines directly.
+	Allowed func(pkgPath string) bool
+}
+
+// DefaultConfig permits only the pool and the serving layer.
+func DefaultConfig() Config {
+	return Config{Allowed: func(path string) bool {
+		return path == "ps3/internal/exec" || path == "ps3/internal/serve"
+	}}
+}
+
+// Analyzer is the repo-configured instance.
+var Analyzer = New(DefaultConfig())
+
+// New builds a nakedgo analyzer with the given allowance.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "nakedgo",
+		Doc:  "flags go statements outside internal/exec and internal/serve: all fan-out goes through the bounded pool's ordered merges",
+		Run:  func(pass *analysis.Pass) error { return run(cfg, pass) },
+	}
+}
+
+func run(cfg Config, pass *analysis.Pass) error {
+	if cfg.Allowed != nil && cfg.Allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"naked go statement outside internal/exec and internal/serve: fan out through exec's bounded pool (ForEach/Map/Reduce) or justify with //lint:nakedgo-ok")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"ps3/internal/analyzers/analyzertest"
+	"ps3/internal/analyzers/nakedgo"
+)
+
+func TestNakedGo(t *testing.T) {
+	a := nakedgo.New(nakedgo.Config{Allowed: func(path string) bool {
+		return path == "pool"
+	}})
+	analyzertest.Run(t, "testdata", a, "worker", "pool")
+}

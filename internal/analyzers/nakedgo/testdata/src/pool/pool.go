@@ -1,0 +1,10 @@
+// Package pool owns concurrency in the fixtures, like internal/exec in the
+// real tree: it may spawn goroutines freely.
+package pool
+
+func work() {}
+
+// fan may spawn: the package is on the allowance.
+func fan() {
+	go work()
+}

@@ -1,0 +1,19 @@
+// Package worker must not spawn goroutines directly: fan-out belongs to the
+// bounded pool with its ordered merges.
+package worker
+
+func work() {}
+
+// fan spawns directly and is flagged.
+func fan() {
+	go work() // want `naked go statement outside internal/exec and internal/serve`
+}
+
+// justified documents why a direct goroutine is required here.
+func justified() {
+	done := make(chan struct{})
+	go func() { //lint:nakedgo-ok fixture: lifecycle goroutine, joined on done below
+		close(done)
+	}()
+	<-done
+}

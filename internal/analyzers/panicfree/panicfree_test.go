@@ -1,0 +1,16 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"ps3/internal/analyzers/analyzertest"
+	"ps3/internal/analyzers/panicfree"
+)
+
+func TestPanicFree(t *testing.T) {
+	a := panicfree.New(panicfree.Config{Regions: map[string][]string{
+		"codec":    {"Read"},
+		"rawstore": nil,
+	}})
+	analyzertest.Run(t, "testdata", a, "codec", "rawstore", "outside")
+}

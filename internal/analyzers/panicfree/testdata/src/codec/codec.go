@@ -1,0 +1,55 @@
+// Package codec mirrors a rooted untrusted-decode region: Read and every
+// same-package function reachable from it must return errors, never panic.
+package codec
+
+// Read is the region root: it decodes hostile bytes.
+func Read(b []byte) (int, error) {
+	v, err := parse(b)
+	if err != nil {
+		return 0, err
+	}
+	return coerce(v) + header(b) + checked(len(b)), nil
+}
+
+// parse is reachable from Read, so its panic is in region.
+func parse(b []byte) (int, error) {
+	if len(b) == 0 {
+		panic("empty input") // want `panic in untrusted-decode function parse`
+	}
+	return int(b[0]), nil
+}
+
+// coerce asserts without comma-ok, which panics on unexpected wire data.
+func coerce(v any) int {
+	box := any(v)
+	n := box.(int)              // want `type assertion without comma-ok in untrusted-decode function coerce`
+	if m, ok := box.(int); ok { // the comma-ok form is fine
+		return m
+	}
+	switch t := box.(type) { // a type switch is fine too
+	case int:
+		return t
+	}
+	return n
+}
+
+// header calls a Must* helper, whose contract is to panic on bad input.
+func header(b []byte) int {
+	return MustVersion(b) // want `header calls MustVersion in an untrusted-decode region`
+}
+
+// MustVersion is the panicking convenience form decode paths must avoid.
+func MustVersion(b []byte) int { return len(b) }
+
+// checked documents why its panic is unreachable.
+func checked(n int) int {
+	if n < 0 {
+		panic("negative length survived validation") //lint:panicfree-ok n is a built-in len, never negative
+	}
+	return n
+}
+
+// free is not reachable from Read: its panic sits outside the region.
+func free() {
+	panic("out of scope")
+}

@@ -1,0 +1,10 @@
+// Package outside is not a configured decode region: panics here are the
+// caller's business and never flagged.
+package outside
+
+// Check panics on programmer error, which is fine outside decode paths.
+func Check(ok bool) {
+	if !ok {
+		panic("invariant violated")
+	}
+}

@@ -1,0 +1,7 @@
+// Package rawstore is wholly a decode region (nil roots in the config):
+// every function is in scope, reachable or not.
+package rawstore
+
+func helper() {
+	panic("corrupt page") // want `panic in untrusted-decode function helper`
+}

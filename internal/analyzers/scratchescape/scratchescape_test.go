@@ -1,0 +1,16 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"ps3/internal/analyzers/analyzertest"
+	"ps3/internal/analyzers/scratchescape"
+)
+
+func TestScratchEscape(t *testing.T) {
+	a := scratchescape.New(scratchescape.Config{
+		Types:          []scratchescape.TypeRef{{PkgName: "pool", TypeName: "scratch"}},
+		AllowedReturns: map[string]bool{"pool.getScratch": true},
+	})
+	analyzertest.Run(t, "testdata", a, "pool")
+}

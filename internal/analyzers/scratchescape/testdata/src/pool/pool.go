@@ -1,0 +1,79 @@
+// Package pool mirrors the pooled-scratch ownership contract: a scratch is
+// owned by one goroutine between pool Get and Put, so it must not be stored,
+// captured, or returned past that window.
+package pool
+
+type scratch struct {
+	buf []int
+	sub *scratch
+}
+
+type holder struct {
+	sc *scratch
+}
+
+var global *scratch
+
+// getScratch is the sanctioned pool accessor and may hand scratch out.
+func getScratch() *scratch { return &scratch{} }
+
+// leak hands scratch to callers outside the pool accessors.
+func leak() *scratch { // want `leak returns a pooled scratch`
+	return &scratch{}
+}
+
+// stash parks a scratch in a struct field, where it outlives the pool Put.
+func stash(h *holder, sc *scratch) {
+	h.sc = sc // want `pooled scratch stored into struct field sc`
+}
+
+// wire keeps one scratch inside another: ownership stays with the pooled
+// unit, so this is legal.
+func wire(a, b *scratch) {
+	a.sub = b
+}
+
+// publish stores scratch into a package-level variable.
+func publish(sc *scratch) {
+	global = sc // want `pooled scratch stored into package-level variable global`
+}
+
+// embed places scratch in a struct literal that outlives the owner.
+func embed(sc *scratch) holder {
+	return holder{sc: sc} // want `pooled scratch embedded in a struct literal`
+}
+
+// handoff passes scratch into a goroutine by argument.
+func handoff(sc *scratch) {
+	go consume(sc) // want `pooled scratch passed to a goroutine`
+}
+
+func consume(sc *scratch) {}
+
+// capture closes over the owner's scratch inside a goroutine.
+func capture(sc *scratch) {
+	go func() {
+		consume(sc) // want `goroutine captures pooled scratch sc`
+	}()
+}
+
+// reuse returns a closure that hands out the owner's scratch.
+func reuse(sc *scratch) func() *scratch {
+	return func() *scratch {
+		return sc // want `function literal returns captured pooled scratch sc`
+	}
+}
+
+// fresh builds a per-worker scratch inside the literal — the exec.MapWith
+// per-worker constructor idiom — and stays legal.
+func fresh() func() *scratch {
+	return func() *scratch {
+		sc := &scratch{}
+		return sc
+	}
+}
+
+// justified retains a scratch deliberately, with the reason attached.
+func justified(h *holder, sc *scratch) {
+	h.sc = sc //lint:scratchescape-ok fixture: single-goroutine helper retains its scratch by design
+}

@@ -324,7 +324,7 @@ func (s *System) RunSelection(c *query.Compiled, sel []query.WeightedPartition) 
 	}
 	vals := c.FinalValues(ans)
 	labels := make(map[string]string, len(vals))
-	for g := range vals {
+	for g := range vals { //lint:mapiter-ok independent per-key map-to-map transform; order-free
 		labels[g] = c.GroupLabel(g)
 	}
 	return &Result{
@@ -363,7 +363,7 @@ func (s *System) RunExact(q *query.Query) (*Result, error) {
 	}
 	vals := c.FinalValues(total)
 	labels := make(map[string]string, len(vals))
-	for g := range vals {
+	for g := range vals { //lint:mapiter-ok independent per-key map-to-map transform; order-free
 		labels[g] = c.GroupLabel(g)
 	}
 	return &Result{

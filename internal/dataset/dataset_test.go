@@ -103,12 +103,18 @@ func tablesEqual(a, b *table.Table) bool {
 			return false
 		}
 		for c := range a.Schema.Cols {
-			for r := 0; r < pa.Rows(); r++ {
-				if a.Schema.Cols[c].IsNumeric() {
-					if pa.Num[c][r] != pb.Num[c][r] {
+			if a.Schema.Cols[c].IsNumeric() {
+				na, nb := pa.NumCol(c), pb.NumCol(c)
+				for r := 0; r < pa.Rows(); r++ {
+					if na[r] != nb[r] {
 						return false
 					}
-				} else if a.Dict.Value(pa.Cat[c][r]) != b.Dict.Value(pb.Cat[c][r]) {
+				}
+				continue
+			}
+			ca, cb := pa.CatCol(c), pb.CatCol(c)
+			for r := 0; r < pa.Rows(); r++ {
+				if a.Dict.Value(ca[r]) != b.Dict.Value(cb[r]) {
 					return false
 				}
 			}
@@ -128,15 +134,18 @@ func TestDefaultLayoutIsSorted(t *testing.T) {
 		var prev float64 = math.Inf(-1)
 		var prevStr string
 		for _, p := range d.Table.Parts {
-			for r := 0; r < p.Rows(); r++ {
-				if col.IsNumeric() {
-					v := p.Num[ci][r]
-					if v < prev {
+			if col.IsNumeric() {
+				nums := p.NumCol(ci)
+				for r := 0; r < p.Rows(); r++ {
+					if nums[r] < prev {
 						t.Fatalf("%s: layout not sorted by %s at partition %d", name, col.Name, p.ID)
 					}
-					prev = v
-				} else {
-					v := d.Table.Dict.Value(p.Cat[ci][r])
+					prev = nums[r]
+				}
+			} else {
+				cats := p.CatCol(ci)
+				for r := 0; r < p.Rows(); r++ {
+					v := d.Table.Dict.Value(cats[r])
 					if v < prevStr {
 						t.Fatalf("%s: layout not sorted by %s at partition %d", name, col.Name, p.ID)
 					}
@@ -248,7 +257,7 @@ func TestAriaSkewTopVersionDominates(t *testing.T) {
 	}
 	counts := map[uint32]int{}
 	for _, p := range d.Table.Parts {
-		for _, c := range p.Cat[ci] {
+		for _, c := range p.CatCol(ci) {
 			counts[c]++
 		}
 	}
@@ -276,7 +285,7 @@ func TestTPCHZipfSkewInQuantity(t *testing.T) {
 	ci := d.Table.Schema.ColIndex("L_QUANTITY")
 	var vals []float64
 	for _, p := range d.Table.Parts {
-		vals = append(vals, p.Num[ci]...)
+		vals = append(vals, p.NumCol(ci)...)
 	}
 	sort.Float64s(vals)
 	med := vals[len(vals)/2]
@@ -304,7 +313,7 @@ func TestKDDBinaryColumnsAreBinary(t *testing.T) {
 		}
 		distinct := map[float64]bool{}
 		for _, p := range d.Table.Parts {
-			for _, v := range p.Num[ci] {
+			for _, v := range p.NumCol(ci) {
 				distinct[v] = true
 			}
 		}
@@ -334,10 +343,11 @@ func TestSortColumnCorrelatesWithOtherColumns(t *testing.T) {
 		var means []float64
 		for _, p := range t2.Parts {
 			var m float64
-			for _, v := range p.Num[ci] {
+			nums := p.NumCol(ci)
+			for _, v := range nums {
 				m += v
 			}
-			means = append(means, m/float64(len(p.Num[ci])))
+			means = append(means, m/float64(len(nums)))
 		}
 		var lo, hi = math.Inf(1), math.Inf(-1)
 		for _, m := range means {

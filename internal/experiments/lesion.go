@@ -90,7 +90,7 @@ func CategoryImportance(env *Env) map[string]float64 {
 		}
 	}
 	if total > 0 {
-		for k := range byCat {
+		for k := range byCat { //lint:mapiter-ok independent per-key scaling in place; order-free
 			byCat[k] = byCat[k] / total * 100
 		}
 	}

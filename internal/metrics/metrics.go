@@ -32,6 +32,7 @@ func Compare(truth, est map[string][]float64) Errors {
 		return e
 	}
 	d := 0
+	//lint:mapiter-ok reads the aggregate dimension off one arbitrary entry; every value slice has the same length
 	for _, v := range truth {
 		d = len(v)
 		break

@@ -50,6 +50,7 @@ func (p *Picker) WriteTo(w io.Writer) (int64, error) {
 	for _, m := range p.Regs {
 		wire.Regs = append(wire.Regs, m.Snapshot())
 	}
+	//lint:mapiter-ok collected keys are fully sorted below before encoding
 	for k := range p.Excluded {
 		if p.Excluded[k] {
 			wire.Excluded = append(wire.Excluded, k)
@@ -124,7 +125,7 @@ func (l *LSS) WriteTo(w io.Writer) (int64, error) {
 		DefaultStrataSize: l.DefaultStrataSize,
 		Seed:              l.Seed,
 	}
-	for k := range l.StrataSize {
+	for k := range l.StrataSize { //lint:mapiter-ok collected keys are fully sorted below before encoding
 		wire.BudgetKeys = append(wire.BudgetKeys, k)
 	}
 	sort.Ints(wire.BudgetKeys)

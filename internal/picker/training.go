@@ -33,6 +33,7 @@ func Contribution(c *query.Compiled, perPart []*query.Answer, total *query.Answe
 	out := make([]float64, len(perPart))
 	for i, pa := range perPart {
 		var best float64
+		//lint:mapiter-ok max over per-group ratios is order-free
 		for g, vals := range pa.Groups {
 			tot, ok := total.Groups[g]
 			if !ok {
@@ -228,7 +229,7 @@ func (p *Picker) selectFeatures(examples []Example) {
 
 	eval := func(excluded map[int]bool) float64 {
 		exSet := make(map[stats.Kind]bool, len(excluded))
-		for id := range excluded {
+		for id := range excluded { //lint:mapiter-ok map-to-set copy; key set is order-free
 			exSet[stats.Kind(id)] = true
 		}
 		var sum float64

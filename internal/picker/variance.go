@@ -3,6 +3,7 @@ package picker
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"ps3/internal/query"
 )
@@ -141,9 +142,17 @@ func VarianceEstimate(members [][]int, value func(part int) float64, probesPerSt
 // unbiased (random-exemplar) picker so strata match the weights.
 func UnbiasedSelectionVariance(c *query.Compiled, perPart []*query.Answer, members [][]int, probes int, rng *rand.Rand) VarianceReport {
 	value := func(part int) float64 {
+		// Fold groups in sorted key order: float accumulation over raw map
+		// order would leave low-order bits dependent on iteration order.
+		gs := perPart[part].Groups
+		keys := make([]string, 0, len(gs))
+		for g := range gs {
+			keys = append(keys, g)
+		}
+		sort.Strings(keys)
 		var s float64
-		for _, vals := range perPart[part].Groups {
-			s += vals[0]
+		for _, g := range keys {
+			s += gs[g][0]
 		}
 		return s
 	}

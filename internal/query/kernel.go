@@ -218,6 +218,7 @@ func catCodeSet(c *Clause, d *table.Dict) (map[uint32]bool, error) {
 
 // singleCode returns the sole element of a one-entry code set.
 func singleCode(codes map[uint32]bool) uint32 {
+	//lint:mapiter-ok the set has exactly one element (callers check len==1), so order cannot exist
 	for code := range codes {
 		return code
 	}
@@ -231,6 +232,7 @@ func singleCode(codes map[uint32]bool) uint32 {
 // semantics of the reference path.
 func codeTable(codes map[uint32]bool, d *table.Dict) []bool {
 	lut := make([]bool, d.Len())
+	//lint:mapiter-ok independent per-key writes into the dense table; no accumulation across keys
 	for code := range codes {
 		lut[code] = true
 	}

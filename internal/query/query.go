@@ -195,6 +195,7 @@ func (a *Answer) NumGroups() int { return len(a.Groups) }
 
 // AddWeighted accumulates w * other into a.
 func (a *Answer) AddWeighted(other *Answer, w float64) {
+	//lint:mapiter-ok per-group accumulators are disjoint map keys: each group's float sum is unaffected by visit order
 	for g, vals := range other.Groups {
 		acc, ok := a.Groups[g]
 		if !ok {
@@ -499,6 +500,7 @@ func malformedKeyLabel(key string, groupCols int) string {
 // values per group (AVG = sum/count; empty AVG groups yield 0).
 func (c *Compiled) FinalValues(a *Answer) map[string][]float64 {
 	out := make(map[string][]float64, len(a.Groups))
+	//lint:mapiter-ok independent per-key map-to-map transform; no accumulation across keys
 	for g, acc := range a.Groups {
 		vals := make([]float64, len(c.slots))
 		for i, s := range c.slots {
@@ -546,6 +548,7 @@ func (c *Compiled) Selectivity(t *table.Table) float64 {
 		sc         *scratch
 	}
 	total := exec.Reduce(len(t.Parts), c.Exec,
+		//lint:scratchescape-ok counts is exec.Reduce's per-worker accumulator: each worker builds and exclusively owns one
 		func() counts { return counts{sc: &scratch{}} },
 		func(acc counts, i int) counts {
 			p := t.Parts[i]

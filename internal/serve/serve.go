@@ -298,7 +298,7 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 	for _, a := range q.Aggs {
 		resp.Aggs = append(resp.Aggs, a.String())
 	}
-	for g, vals := range res.Values {
+	for g, vals := range res.Values { //lint:mapiter-ok groups are fully sorted by label immediately below
 		resp.Groups = append(resp.Groups, Group{Label: res.Labels[g], Values: vals})
 	}
 	sort.Slice(resp.Groups, func(a, b int) bool { return resp.Groups[a].Label < resp.Groups[b].Label })

@@ -52,7 +52,7 @@ func (a *AKMV) Add(h uint64) {
 	delete(a.entries, a.maxHash)
 	a.entries[h] = 1
 	a.maxHash = 0
-	for e := range a.entries {
+	for e := range a.entries { //lint:mapiter-ok max over the key set is order-free
 		if e > a.maxHash {
 			a.maxHash = e
 		}
@@ -63,7 +63,7 @@ func (a *AKMV) Add(h uint64) {
 // summing multiplicities of shared hashes.
 func (a *AKMV) Merge(other *AKMV) {
 	a.rows += other.rows
-	for h, c := range other.entries {
+	for h, c := range other.entries { //lint:mapiter-ok independent integer adds into disjoint keys, order-free
 		a.entries[h] += c
 	}
 	if len(a.entries) > a.K {
@@ -77,7 +77,7 @@ func (a *AKMV) Merge(other *AKMV) {
 		}
 	}
 	a.maxHash = 0
-	for h := range a.entries {
+	for h := range a.entries { //lint:mapiter-ok max over the key set is order-free
 		if h > a.maxHash {
 			a.maxHash = h
 		}
@@ -117,6 +117,7 @@ func (a *AKMV) FreqStats() (avg, maxF, minF, sum float64) {
 		return 0, 0, 0, 0
 	}
 	minF = math.Inf(1)
+	//lint:mapiter-ok min/max are order-free and the sum adds integer-valued float64s below 2^53, which is exact in any order
 	for _, c := range a.entries {
 		f := float64(c)
 		sum += f

@@ -59,6 +59,7 @@ func (hh *HeavyHitter) Add(id uint64) {
 	}
 	if hh.n%hh.width == 0 {
 		hh.current++
+		//lint:mapiter-ok each key is kept or evicted on its own count alone, independent of visit order
 		for k, e := range hh.counts {
 			if e.count+e.delta <= hh.current {
 				delete(hh.counts, k)
@@ -78,6 +79,7 @@ func (hh *HeavyHitter) Finalize() {
 		return
 	}
 	thresh := int64(hh.support * float64(hh.n))
+	//lint:mapiter-ok survivors are fully sorted by (count, id) immediately below
 	for id, e := range hh.counts {
 		if e.count >= thresh && e.count > 0 {
 			hh.items = append(hh.items, HHItem{

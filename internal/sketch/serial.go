@@ -38,7 +38,7 @@ type AKMVSnapshot struct {
 // Snapshot captures the AKMV state.
 func (a *AKMV) Snapshot() AKMVSnapshot {
 	entries := make(map[uint64]int64, len(a.entries))
-	for k, v := range a.entries {
+	for k, v := range a.entries { //lint:mapiter-ok map-to-map copy; key set and values are order-free
 		entries[k] = v
 	}
 	return AKMVSnapshot{K: a.K, Entries: entries, Rows: a.rows}
@@ -48,7 +48,7 @@ func (a *AKMV) Snapshot() AKMVSnapshot {
 // hash is recomputed from the entries.
 func AKMVFromSnapshot(s AKMVSnapshot) *AKMV {
 	a := &AKMV{K: s.K, entries: make(map[uint64]int64, len(s.Entries)), rows: s.Rows}
-	for k, v := range s.Entries {
+	for k, v := range s.Entries { //lint:mapiter-ok map-to-map copy plus order-free max over keys
 		a.entries[k] = v
 		if k > a.maxHash {
 			a.maxHash = k
@@ -88,7 +88,7 @@ type ExactDictSnapshot struct {
 // Snapshot captures the dictionary state.
 func (d *ExactDict) Snapshot() ExactDictSnapshot {
 	counts := make(map[uint32]int64, len(d.counts))
-	for k, v := range d.counts {
+	for k, v := range d.counts { //lint:mapiter-ok map-to-map copy; key set and values are order-free
 		counts[k] = v
 	}
 	return ExactDictSnapshot{Cap: d.cap, Counts: counts, Rows: d.rows, Overflow: d.Overflow}
@@ -97,7 +97,7 @@ func (d *ExactDict) Snapshot() ExactDictSnapshot {
 // ExactDictFromSnapshot reconstructs an ExactDict.
 func ExactDictFromSnapshot(s ExactDictSnapshot) *ExactDict {
 	d := &ExactDict{cap: s.Cap, counts: make(map[uint32]int64, len(s.Counts)), rows: s.Rows, Overflow: s.Overflow}
-	for k, v := range s.Counts {
+	for k, v := range s.Counts { //lint:mapiter-ok map-to-map copy; key set and values are order-free
 		d.counts[k] = v
 	}
 	return d

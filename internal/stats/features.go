@@ -216,6 +216,7 @@ func (ts *TableStats) buildBaseMatrix() []float64 {
 			v[off+15] = minDV
 			v[off+16] = sumDV
 		}
+		//lint:mapiter-ok each column writes its own disjoint dense slot range; order-free
 		for ci, slot := range ts.Space.bitmapSlots {
 			bm := ps.Bitmap[ci]
 			bits := ts.Space.bitmapBits[ci]

@@ -117,6 +117,7 @@ func ReadStats(r io.Reader) (*TableStats, error) {
 	if ts.GlobalHH == nil {
 		ts.GlobalHH = make(map[int][]uint32)
 	}
+	//lint:mapiter-ok validation only: any out-of-range key aborts with an error, no ordered output
 	for ci := range ts.GlobalHH {
 		if ci < 0 || ci >= schema.NumCols() {
 			return nil, fmt.Errorf("stats: corrupt store: global heavy hitters for column %d, schema has %d columns",

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"ps3/internal/exec"
 	"ps3/internal/sketch"
 	"ps3/internal/table"
 )
@@ -190,13 +191,20 @@ func sameScale(a, b []float64) bool {
 // heavy hitters and occurrence bitmaps, and assembles the feature space.
 func Build(t *table.Table, opts Options) (*TableStats, error) {
 	opts = opts.withDefaults()
-	groupable := make(map[int]bool)
+	// Resolve groupable columns into a deduplicated index slice, keeping
+	// slice order for the derivation loops below: iterating a map here cost
+	// run-to-run determinism once already (fixed in PR 1's sweep).
+	seen := make(map[int]bool)
+	var groupCis []int
 	for _, name := range opts.GroupableCols {
 		ci := t.Schema.ColIndex(name)
 		if ci < 0 {
 			return nil, fmt.Errorf("stats: groupable column %q not in schema", name)
 		}
-		groupable[ci] = true
+		if !seen[ci] {
+			seen[ci] = true
+			groupCis = append(groupCis, ci)
+		}
 	}
 	ts := &TableStats{
 		Schema:   t.Schema,
@@ -206,23 +214,15 @@ func Build(t *table.Table, opts Options) (*TableStats, error) {
 		GlobalHH: make(map[int][]uint32),
 	}
 
-	// Build per-partition sketches in parallel; each partition is one pass.
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Parallelism)
-	for i, p := range t.Parts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, p *table.Partition) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ts.Parts[i] = buildPartition(t.Schema, p, opts)
-		}(i, p)
-	}
-	wg.Wait()
+	// Build per-partition sketches on the shared bounded pool; each
+	// partition is one pass, and results land in index order.
+	exec.ForEach(len(t.Parts), exec.Options{Parallelism: opts.Parallelism}, func(i int) {
+		ts.Parts[i] = buildPartition(t.Schema, t.Parts[i], opts)
+	})
 
 	// Global heavy hitters per groupable categorical column: merge
 	// per-partition HH lists and rank by total count (§3.2).
-	for ci := range groupable {
+	for _, ci := range groupCis {
 		if t.Schema.Col(ci).Kind != table.Categorical {
 			continue
 		}
@@ -237,7 +237,7 @@ func Build(t *table.Table, opts Options) (*TableStats, error) {
 			count int64
 		}
 		ranked := make([]hhTotal, 0, len(totals))
-		for id, c := range totals {
+		for id, c := range totals { //lint:mapiter-ok ranked is fully sorted by (count, id) below before use
 			ranked = append(ranked, hhTotal{id, c})
 		}
 		sort.Slice(ranked, func(a, b int) bool {
@@ -256,10 +256,14 @@ func Build(t *table.Table, opts Options) (*TableStats, error) {
 		ts.GlobalHH[ci] = codes
 	}
 
-	// Per-partition occurrence bitmaps.
+	// Per-partition occurrence bitmaps, in groupable-column order.
 	for _, ps := range ts.Parts {
 		ps.Bitmap = make(map[int]uint32)
-		for ci, codes := range ts.GlobalHH {
+		for _, ci := range groupCis {
+			codes, ok := ts.GlobalHH[ci]
+			if !ok {
+				continue // non-categorical groupable column
+			}
 			var bm uint32
 			for bit, code := range codes {
 				if ps.Cols[ci].HH.Contains(uint64(code)) {

@@ -81,7 +81,7 @@ func (c *partCache) get(i int, load func() (*table.Partition, int64, error)) (*t
 	if el, ok := c.entries[i]; ok {
 		c.recency.MoveToFront(el)
 		c.hits++
-		p := el.Value.(*cacheEntry).p
+		p := el.Value.(*cacheEntry).p //lint:panicfree-ok recency list holds only cacheEntry values the cache itself inserted, never wire data
 		c.mu.Unlock()
 		return p, nil
 	}
@@ -122,7 +122,7 @@ func (c *partCache) insertLocked(i int, p *table.Partition, size int64) {
 	}
 	for c.resident > c.budget && c.recency.Len() > 1 {
 		last := c.recency.Back()
-		e := last.Value.(*cacheEntry)
+		e := last.Value.(*cacheEntry) //lint:panicfree-ok recency list holds only cacheEntry values the cache itself inserted, never wire data
 		c.recency.Remove(last)
 		delete(c.entries, e.part)
 		c.resident -= e.size

@@ -449,7 +449,7 @@ func TestCacheAccountingMixedEncodedRaw(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p0.EncCol(0) != nil || p0.Num[0] == nil {
+	if p0.EncCol(0) != nil || !p0.Decoded(0) {
 		t.Fatal("column f must be raw")
 	}
 	if p0.EncCol(1) == nil || p0.EncCol(2) == nil {

@@ -91,7 +91,7 @@ func requireSamePartition(t *testing.T, want, got *table.Partition, pi int) {
 	if want.Rows() != got.Rows() {
 		t.Fatalf("partition %d: %d rows, want %d", pi, got.Rows(), want.Rows())
 	}
-	for c := range want.Num {
+	for c := 0; c < want.Cols(); c++ {
 		wn, gn := want.NumCol(c), got.NumCol(c)
 		wc, gc := want.CatCol(c), got.CatCol(c)
 		if len(wn) != len(gn) || len(wc) != len(gc) {

@@ -297,7 +297,7 @@ func TestLazyDecodeMemoizedAndCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Num[0] != nil || p.Cat[1] != nil {
+	if p.Decoded(0) || p.Decoded(1) {
 		t.Fatal("encoded columns must stay nil in the public slices")
 	}
 	if p.EncCol(0) != forCol || p.EncCol(1) != bpCol {

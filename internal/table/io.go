@@ -20,20 +20,9 @@ type tableWire struct {
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	wire := tableWire{Cols: t.Schema.Cols, DictVals: t.Dict.vals}
 	for _, p := range t.Parts {
-		num, cat := p.Num, p.Cat
-		if p.enc != nil {
-			// Materialize encoded columns through the accessors so the
-			// wire form always carries decoded slices.
-			num = make([][]float64, len(p.Num))
-			cat = make([][]uint32, len(p.Cat))
-			for c, col := range t.Schema.Cols {
-				if col.IsNumeric() {
-					num[c] = p.NumCol(c)
-				} else {
-					cat[c] = p.CatCol(c)
-				}
-			}
-		}
+		// DecodedCols materializes any encoded columns so the wire form
+		// always carries decoded slices.
+		num, cat := p.DecodedCols()
 		wire.PartsNum = append(wire.PartsNum, num)
 		wire.PartsCat = append(wire.PartsCat, cat)
 		wire.PartsRows = append(wire.PartsRows, p.rows)
@@ -106,7 +95,11 @@ func ReadTable(r io.Reader) (*Table, error) {
 				}
 			}
 		}
-		t.Parts = append(t.Parts, &Partition{ID: i, Num: num, Cat: cat, rows: rows})
+		p, err := MakePartition(s, i, rows, num, cat)
+		if err != nil {
+			return nil, fmt.Errorf("table: corrupt file: %w", err)
+		}
+		t.Parts = append(t.Parts, p)
 	}
 	return t, nil
 }

@@ -28,14 +28,16 @@ func validWire(t *testing.T) tableWire {
 		PartsNum: func() [][][]float64 {
 			var out [][][]float64
 			for _, p := range tbl.Parts {
-				out = append(out, p.Num)
+				num, _ := p.DecodedCols()
+				out = append(out, num)
 			}
 			return out
 		}(),
 		PartsCat: func() [][][]uint32 {
 			var out [][][]uint32
 			for _, p := range tbl.Parts {
-				out = append(out, p.Cat)
+				_, cat := p.DecodedCols()
+				out = append(out, cat)
 			}
 			return out
 		}(),

@@ -93,6 +93,43 @@ func (p *Partition) CatCol(c int) []uint32 {
 	return lc.cat
 }
 
+// Cols returns the number of columns the partition holds (equal to the
+// schema's column count, counting both numeric and categorical sides).
+func (p *Partition) Cols() int { return len(p.Num) }
+
+// Decoded reports whether column c is currently held in decoded form. It is
+// the sanctioned way to assert on the physical representation (tests of the
+// store and the encoder care) without touching the raw fields, which stay
+// nil for encoded columns until NumCol/CatCol materialize them.
+func (p *Partition) Decoded(c int) bool {
+	return p.Num[c] != nil || p.Cat[c] != nil
+}
+
+// DecodedCols returns the partition's columns fully decoded, one slice per
+// schema column with data on the matching side: the wire form used by the
+// gob serializer and by tests comparing logical contents. Encoded columns
+// are materialized through the lazy accessors; decoded columns are returned
+// as-is (the partition's backing store — treat as read-only).
+func (p *Partition) DecodedCols() (num [][]float64, cat [][]uint32) {
+	if p.enc == nil {
+		return p.Num, p.Cat
+	}
+	num = make([][]float64, len(p.Num))
+	cat = make([][]uint32, len(p.Cat))
+	for c := range num {
+		if e := p.enc[c]; e != nil {
+			if e.IsNumeric() {
+				num[c] = p.NumCol(c)
+			} else {
+				cat[c] = p.CatCol(c)
+			}
+			continue
+		}
+		num[c], cat[c] = p.Num[c], p.Cat[c]
+	}
+	return num, cat
+}
+
 // EncCol returns column c's encoded form, or nil if the column is held
 // decoded. Kernels use it to evaluate predicates without materializing.
 func (p *Partition) EncCol(c int) *EncodedCol {

@@ -145,13 +145,13 @@ func (t *Table) gather(refs []rowRef, numParts int) *Table {
 		if size == 0 {
 			continue
 		}
-		np := NewPartition(t.Schema)
-		np.ID = len(out.Parts)
+		num := make([][]float64, t.Schema.NumCols())
+		cat := make([][]uint32, t.Schema.NumCols())
 		for c, col := range t.Schema.Cols {
 			if col.IsNumeric() {
-				np.Num[c] = make([]float64, size)
+				num[c] = make([]float64, size)
 			} else {
-				np.Cat[c] = make([]uint32, size)
+				cat[c] = make([]uint32, size)
 			}
 		}
 		for i := 0; i < size; i++ {
@@ -159,13 +159,17 @@ func (t *Table) gather(refs []rowRef, numParts int) *Table {
 			src := t.Parts[ref.part]
 			for c, col := range t.Schema.Cols {
 				if col.IsNumeric() {
-					np.Num[c][i] = src.NumCol(c)[ref.row]
+					num[c][i] = src.NumCol(c)[ref.row]
 				} else {
-					np.Cat[c][i] = src.CatCol(c)[ref.row]
+					cat[c][i] = src.CatCol(c)[ref.row]
 				}
 			}
 		}
-		np.rows = size
+		np, err := MakePartition(t.Schema, len(out.Parts), size, num, cat)
+		if err != nil {
+			// Unreachable: the slices above are built to the schema's shape.
+			panic(err)
+		}
 		out.Parts = append(out.Parts, np)
 		start += size
 	}

@@ -193,14 +193,14 @@ func TestSortByNumeric(t *testing.T) {
 	}
 	var got []float64
 	for _, p := range sorted.Parts {
-		got = append(got, p.Num[0]...)
+		got = append(got, p.NumCol(0)...)
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i] < got[i-1] {
 			t.Fatalf("not sorted: %v", got)
 		}
 	}
-	if tbl.Parts[0].Num[0][0] != 5 {
+	if tbl.Parts[0].NumCol(0)[0] != 5 {
 		t.Error("SortBy must not mutate the source table")
 	}
 }
@@ -218,7 +218,7 @@ func TestSortByCategorical(t *testing.T) {
 	}
 	prev := ""
 	for r := 0; r < sorted.Parts[0].Rows(); r++ {
-		v := sorted.Dict.Value(sorted.Parts[0].Cat[1][r])
+		v := sorted.Dict.Value(sorted.Parts[0].CatCol(1)[r])
 		if v < prev {
 			t.Fatalf("categorical sort broken at row %d: %q < %q", r, v, prev)
 		}
@@ -247,12 +247,12 @@ func TestShuffledPreservesMultiset(t *testing.T) {
 	}
 	sumOrig, sumShuf := 0.0, 0.0
 	for _, p := range tbl.Parts {
-		for _, v := range p.Num[0] {
+		for _, v := range p.NumCol(0) {
 			sumOrig += v
 		}
 	}
 	for _, p := range shuf.Parts {
-		for _, v := range p.Num[0] {
+		for _, v := range p.NumCol(0) {
 			sumShuf += v
 		}
 	}
@@ -272,7 +272,7 @@ func TestRepartitionKeepsOrder(t *testing.T) {
 	}
 	var got []float64
 	for _, p := range re.Parts {
-		got = append(got, p.Num[0]...)
+		got = append(got, p.NumCol(0)...)
 	}
 	for i, v := range got {
 		if v != float64(i) {
@@ -326,8 +326,8 @@ func TestRepartitionMorePartsThanRows(t *testing.T) {
 		if p.ID != i {
 			t.Errorf("partition %d has ID %d, want dense IDs", i, p.ID)
 		}
-		if p.Num[0][0] != float64(i) {
-			t.Errorf("partition %d holds row %v, want %d (order preserved)", i, p.Num[0][0], i)
+		if p.NumCol(0)[0] != float64(i) {
+			t.Errorf("partition %d holds row %v, want %d (order preserved)", i, p.NumCol(0)[0], i)
 		}
 	}
 }
@@ -345,7 +345,7 @@ func TestSortByMorePartsThanRows(t *testing.T) {
 		t.Fatalf("got %d parts / %d rows, want 3/3", sorted.NumParts(), sorted.NumRows())
 	}
 	for i, want := range []float64{1, 2, 3} {
-		if got := sorted.Parts[i].Num[0][0]; got != want {
+		if got := sorted.Parts[i].NumCol(0)[0]; got != want {
 			t.Errorf("sorted partition %d = %v, want %v", i, got, want)
 		}
 	}
@@ -370,7 +370,7 @@ func TestRelayoutSingleRowPartitions(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range sorted.Parts {
-		if got := sorted.Parts[i].Num[0][0]; got != float64(i) {
+		if got := sorted.Parts[i].NumCol(0)[0]; got != float64(i) {
 			t.Errorf("sorted single-row partition %d = %v, want %d", i, got, i)
 		}
 	}
@@ -399,11 +399,11 @@ func TestSerializationRoundTrip(t *testing.T) {
 	}
 	for pi := range tbl.Parts {
 		for r := 0; r < tbl.Parts[pi].Rows(); r++ {
-			if tbl.Parts[pi].Num[0][r] != got.Parts[pi].Num[0][r] {
+			if tbl.Parts[pi].NumCol(0)[r] != got.Parts[pi].NumCol(0)[r] {
 				t.Fatalf("numeric mismatch at part %d row %d", pi, r)
 			}
-			a := tbl.Dict.Value(tbl.Parts[pi].Cat[1][r])
-			b := got.Dict.Value(got.Parts[pi].Cat[1][r])
+			a := tbl.Dict.Value(tbl.Parts[pi].CatCol(1)[r])
+			b := got.Dict.Value(got.Parts[pi].CatCol(1)[r])
 			if a != b {
 				t.Fatalf("categorical mismatch at part %d row %d: %q vs %q", pi, r, a, b)
 			}
@@ -443,7 +443,7 @@ func TestRelayoutPropertyPreservesRows(t *testing.T) {
 		}
 		seen := make(map[float64]int)
 		for _, p := range shuf.Parts {
-			for _, v := range p.Num[0] {
+			for _, v := range p.NumCol(0) {
 				seen[v]++
 			}
 		}
