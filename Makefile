@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke serve-bench vet fmt-check lint verify
+.PHONY: build test race race-serve bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke bench-ingest bench-ingest-smoke serve-bench vet fmt-check lint verify
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race pass over the parallel execution surface: the scan engine, every
 # layer that fans out onto it, and the concurrent serving layer.
 race:
-	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/ ./internal/serve/ ./internal/store/
+	$(GO) test -race -count=1 ./internal/exec/ ./internal/query/ ./internal/core/ ./internal/stats/ ./internal/picker/ ./internal/experiments/ ./internal/serve/ ./internal/store/ ./internal/ingest/
 
 # Serving-layer race tests alone: N goroutines on one snapshot-restored
 # system — resident and store-backed with a thrashing partition cache —
@@ -84,6 +84,25 @@ bench-cluster:
 bench-cluster-smoke:
 	$(GO) test -run 'TestKMeansBounded|TestPickBatchKMeansSkipsDistances' -v ./internal/cluster/ ./internal/picker/
 	$(GO) test -bench 'BenchmarkKMeans' -benchtime 1x -run '^$$' ./internal/cluster/
+
+# Live ingest path: acknowledged append throughput at both WAL commit
+# disciplines (sync fsync vs group-commit window), the full flush latency
+# (seal + stats extension + segment encode/fsync/rename + WAL rotation +
+# snapshot rebuild), and the p99 query latency observed while appends,
+# flushes and hot snapshot swaps run underneath. The raw output is rendered
+# into BENCH_ingest.json.
+bench-ingest:
+	$(GO) test -bench 'BenchmarkIngest' -benchmem -benchtime 2s -run '^$$' ./internal/ingest/ | tee bench_ingest_raw.txt
+	awk -v date=$$(date +%F) -v gover=$$($(GO) env GOVERSION) -f scripts/bench_ingest_json.awk bench_ingest_raw.txt > BENCH_ingest.json
+	@rm -f bench_ingest_raw.txt
+	@cat BENCH_ingest.json
+
+# One-iteration smoke of the ingest benchmarks plus the offline-equivalence
+# and crash-recovery contracts; wired into CI so the live-ingest fixtures
+# (WAL framing, flush protocol, snapshot swap) can never rot.
+bench-ingest-smoke:
+	$(GO) test -run 'TestOfflineEquivalence|TestCrashRecovery|TestRecoveryResumesAppends|TestServeSwapUnderAppendTraffic' -v ./internal/ingest/ ./internal/serve/
+	$(GO) test -bench 'BenchmarkIngest' -benchtime 1x -run '^$$' ./internal/ingest/
 
 # Sustained concurrent serving throughput over a restored snapshot.
 serve-bench:

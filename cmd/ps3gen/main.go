@@ -11,14 +11,25 @@
 //
 //	ps3gen -in /tmp/old.tbl -out /tmp/new.ps3
 //	ps3gen -in /tmp/new.ps3 -out /tmp/legacy.tbl -gob
+//
+// With -stream it replays the table (generated or loaded) as an append
+// workload against a live ps3serve -ingest process, batch by batch:
+//
+//	ps3gen -dataset aria -rows 20000 -stream http://localhost:8080
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"ps3/internal/dataset"
 	"ps3/internal/stats"
@@ -38,6 +49,9 @@ func main() {
 		gobOut = flag.Bool("gob", false, "write -out in the legacy gob format instead of the paged store format")
 		rawOut = flag.Bool("raw", false, "write -out store blocks uncompressed (v1 layout) instead of encoded")
 		in     = flag.String("in", "", "convert: load this table file (either format) instead of generating a dataset")
+
+		stream      = flag.String("stream", "", "replay the table as POST /append batches against this ps3serve base URL (e.g. http://localhost:8080)")
+		streamBatch = flag.Int("streambatch", 256, "rows per append batch for -stream")
 	)
 	flag.Parse()
 	if *gobOut && *binOut == "" {
@@ -117,6 +131,11 @@ func main() {
 			len(ds.Workload.GroupableCols), len(ds.Workload.PredicateCols), len(ds.Workload.AggCols))
 	}
 
+	if *stream != "" {
+		if err := streamTable(*stream, t, *streamBatch); err != nil {
+			fatal(err)
+		}
+	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -169,6 +188,78 @@ func main() {
 				*binOut, float64(n)/(1<<20), t.NumParts(), es.Ratio)
 		}
 	}
+}
+
+// streamTable replays t's rows in partition order as POST /append batches.
+// Cells go out positionally in schema order: numbers for numeric columns
+// (NaN as null — JSON has no NaN literal; the server decodes null back to
+// NaN), strings for categorical ones. Each batch is acknowledged only
+// after the server has it durably logged, so a completed stream survives a
+// server crash.
+func streamTable(baseURL string, t *table.Table, batch int) error {
+	if batch <= 0 {
+		batch = 256
+	}
+	url := strings.TrimRight(baseURL, "/") + "/append"
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		rows    [][]any
+		sent    int
+		batches int
+	)
+	start := time.Now()
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		body, err := json.Marshal(map[string]any{"rows": rows})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("append batch %d: server returned %s: %s", batches, resp.Status, strings.TrimSpace(string(msg)))
+		}
+		sent += len(rows)
+		batches++
+		rows = rows[:0]
+		return nil
+	}
+	for _, p := range t.Parts {
+		for r := 0; r < p.Rows(); r++ {
+			row := make([]any, len(t.Schema.Cols))
+			for c, col := range t.Schema.Cols {
+				if col.IsNumeric() {
+					v := p.NumCol(c)[r]
+					if math.IsNaN(v) {
+						row[c] = nil
+					} else {
+						row[c] = v
+					}
+				} else {
+					row[c] = t.Dict.Value(p.CatCol(c)[r])
+				}
+			}
+			rows = append(rows, row)
+			if len(rows) >= batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rate := float64(sent) / elapsed.Seconds()
+	fmt.Printf("streamed %d rows in %d batches to %s in %v (%.0f rows/s)\n", sent, batches, url, elapsed.Round(time.Millisecond), rate)
+	return nil
 }
 
 func fatal(err error) {

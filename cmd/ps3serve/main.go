@@ -17,6 +17,13 @@
 // against the in-process server, cycling over sampled workload queries:
 //
 //	ps3serve -table /tmp/aria.ps3 -snapshot /tmp/aria.snap -loadgen -requests 2000 -concurrency 16
+//
+// With -ingest the server also accepts live appends (POST /append, or the
+// programmatic sink): rows are written through a crash-safe WAL, flushed as
+// store-format segments, and each flush extends the statistics and swaps a
+// fresh snapshot in — queries keep the trained picker over the growing
+// dataset without retraining. -loadgen -appendevery N mixes one append
+// batch into every N operations to exercise serving under write traffic.
 package main
 
 import (
@@ -24,12 +31,15 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"ps3/internal/core"
+	"ps3/internal/ingest"
 	"ps3/internal/query"
 	"ps3/internal/serve"
 	"ps3/internal/store"
+	"ps3/internal/table"
 )
 
 func main() {
@@ -44,6 +54,12 @@ func main() {
 
 		pickCache = flag.Int("pickcache", 0, "pick-result cache entries (0 = default 512, negative = disabled)")
 
+		ingestOn     = flag.Bool("ingest", false, "accept live appends (POST /append): WAL, segment flushes, incremental stats, hot snapshot swaps")
+		walDir       = flag.String("waldir", "", "ingest: directory for WALs and segments (default <table>.ingest)")
+		flushRows    = flag.Int("flushrows", 0, "ingest: rows per flushed partition (0 = match the base table's partitioning)")
+		commitWindow = flag.Duration("commitwindow", 2*time.Millisecond, "ingest: WAL group-commit window; 0 fsyncs every append")
+		publishTail  = flag.Bool("publishtail", false, "ingest: include unflushed memtable rows in published snapshots")
+
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of listening")
 		queries = flag.Int("queries", 20, "loadgen: distinct workload queries to cycle over")
 		reqs    = flag.Int("requests", 1000, "loadgen: total requests")
@@ -51,6 +67,9 @@ func main() {
 		seed    = flag.Int64("seed", 99, "loadgen: query sampling seed")
 		traffic = flag.String("traffic", "roundrobin", "loadgen: traffic shape over the query pool: roundrobin or zipf")
 		zipfS   = flag.Float64("zipf-s", 1.3, "loadgen: Zipf exponent for -traffic=zipf (must be > 1; larger = hotter head)")
+
+		appendEvery = flag.Int("appendevery", 0, "loadgen: make every Nth operation an append batch (requires -ingest; 0 = query-only)")
+		appendRows  = flag.Int("appendrows", 64, "loadgen: rows per append batch for -appendevery")
 	)
 	flag.Parse()
 	if *tblPath == "" || *snapPath == "" {
@@ -86,6 +105,49 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), ot.Source.NumRows(), ot.Source.NumParts(),
 		byteSize(int64(ot.Source.TotalBytes())), mode)
 
+	var pipe *ingest.Pipeline
+	if *ingestOn {
+		dir := *walDir
+		if dir == "" {
+			dir = *tblPath + ".ingest"
+		}
+		rpp := *flushRows
+		if rpp <= 0 && ot.Source.NumParts() > 0 {
+			rpp = ot.Source.NumRows() / ot.Source.NumParts()
+		}
+		pipe, err = ingest.Open(ingest.Config{
+			Dir:          dir,
+			RowsPerPart:  rpp,
+			CommitWindow: *commitWindow,
+			PublishTail:  *publishTail,
+			CacheBytes:   *cacheBytes,
+			OnPublish: func(snap *core.System, version int) {
+				if err := srv.Swap(snap); err != nil {
+					fmt.Fprintf(os.Stderr, "ps3serve: swap snapshot %d: %v\n", version, err)
+				}
+			},
+		}, sys)
+		if err != nil {
+			fatal(err)
+		}
+		defer pipe.Close()
+		st := pipe.Stats()
+		if st.Segments > 0 || (*publishTail && st.PendingRows > 0) {
+			snap, _, err := pipe.Snapshot()
+			if err != nil {
+				fatal(err)
+			}
+			if err := srv.Swap(snap); err != nil {
+				fatal(err)
+			}
+		}
+		srv.SetAppender(pipe)
+		fmt.Printf("ingest: %s, %d rows per partition, %v commit window; recovered %d segments, %d WAL rows\n",
+			dir, rpp, *commitWindow, st.Segments, st.RecoveredRows)
+	} else if *appendEvery > 0 {
+		fatal(fmt.Errorf("-appendevery requires -ingest"))
+	}
+
 	if *loadgen {
 		gen, err := query.NewGenerator(sys.Opts.Workload, ot.Source, *seed)
 		if err != nil {
@@ -101,10 +163,16 @@ func main() {
 		fmt.Printf("loadgen: %d requests over %d queries (%s traffic), %d workers, budget %.2f\n",
 			*reqs, len(qs), *traffic, *conc, *budget)
 		var rep serve.LoadReport
-		switch *traffic {
-		case "roundrobin":
+		switch {
+		case *appendEvery > 0:
+			var batch func() ([][]float64, [][]string)
+			batch, err = batchSource(ot.Source, *appendRows)
+			if err == nil {
+				rep, err = srv.LoadGenMixed(qs, *budget, *conc, *reqs, *appendEvery, batch)
+			}
+		case *traffic == "roundrobin":
 			rep, err = srv.LoadGen(qs, *budget, *conc, *reqs)
-		case "zipf":
+		case *traffic == "zipf":
 			rep, err = srv.LoadGenZipf(qs, *budget, *conc, *reqs, *zipfS, *seed)
 		default:
 			err = fmt.Errorf("unknown -traffic %q (want roundrobin or zipf)", *traffic)
@@ -113,6 +181,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(rep)
+		if pipe != nil {
+			st := pipe.Stats()
+			fmt.Printf("ingest: %d batches (%d rows) appended, %d flushes, %d segments (%d partitions), %d rows pending, snapshot version %d\n",
+				st.AppendBatches, st.RowsAppended, st.Flushes, st.Segments, st.SegmentParts, st.PendingRows, st.Version)
+		}
 		m := srv.Stats()
 		fmt.Printf("query cache: %d hits / %d misses (%d entries)\n", m.CacheHits, m.CacheMisses, m.CacheLen)
 		if m.PickCache != nil {
@@ -127,10 +200,57 @@ func main() {
 		return
 	}
 
-	fmt.Printf("listening on %s (POST /query, GET /stats, GET /healthz)\n", *addr)
+	endpoints := "POST /query, GET /stats, GET /healthz"
+	if pipe != nil {
+		endpoints = "POST /query, POST /append, GET /stats, GET /healthz"
+	}
+	fmt.Printf("listening on %s (%s)\n", *addr, endpoints)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
+}
+
+// batchSource cycles rows out of the base table as append batches: batch
+// calls return consecutive windows of the first partition's rows, decoded
+// back to append wire form. Safe for concurrent use (the cursor is
+// atomic); real deployments append new data, the loadgen replays existing
+// rows to exercise the write path.
+func batchSource(src table.PartitionSource, batch int) (func() ([][]float64, [][]string), error) {
+	if batch <= 0 {
+		batch = 64
+	}
+	p, err := src.Read(0)
+	if err != nil {
+		return nil, err
+	}
+	schema, dict := src.TableSchema(), src.TableDict()
+	rows := p.Rows()
+	num := make([][]float64, rows)
+	cat := make([][]string, rows)
+	for r := 0; r < rows; r++ {
+		nr := make([]float64, len(schema.Cols))
+		cr := make([]string, len(schema.Cols))
+		for c, col := range schema.Cols {
+			if col.IsNumeric() {
+				nr[c] = p.NumCol(c)[r]
+			} else {
+				cr[c] = dict.Value(p.CatCol(c)[r])
+			}
+		}
+		num[r], cat[r] = nr, cr
+	}
+	var cursor atomic.Int64
+	return func() ([][]float64, [][]string) {
+		start := int(cursor.Add(int64(batch))-int64(batch)) % rows
+		bn := make([][]float64, 0, batch)
+		bc := make([][]string, 0, batch)
+		for i := 0; i < batch; i++ {
+			r := (start + i) % rows
+			bn = append(bn, num[r])
+			bc = append(bc, cat[r])
+		}
+		return bn, bc
+	}, nil
 }
 
 // byteSize renders a byte count for humans.

@@ -1,7 +1,9 @@
-// Package nakedgo confines goroutine creation to the two packages that own
+// Package nakedgo confines goroutine creation to the three packages that own
 // concurrency: internal/exec (the bounded worker pool with deterministic
-// ordered merges, PRs 1–2) and internal/serve (the request layer that
-// multiplexes onto it).
+// ordered merges, PRs 1–2), internal/serve (the request layer that
+// multiplexes onto it), and internal/ingest (whose WAL group-commit and
+// flush loops are lifecycle goroutines joined on Close, not data-path
+// fan-out).
 //
 // Everything else must express fan-out through exec's primitives — that is
 // what makes "bit-identical at every Parallelism" checkable at one choke
@@ -23,10 +25,11 @@ type Config struct {
 	Allowed func(pkgPath string) bool
 }
 
-// DefaultConfig permits only the pool and the serving layer.
+// DefaultConfig permits the pool, the serving layer and the ingest
+// pipeline's lifecycle loops.
 func DefaultConfig() Config {
 	return Config{Allowed: func(path string) bool {
-		return path == "ps3/internal/exec" || path == "ps3/internal/serve"
+		return path == "ps3/internal/exec" || path == "ps3/internal/serve" || path == "ps3/internal/ingest"
 	}}
 }
 
@@ -37,7 +40,7 @@ var Analyzer = New(DefaultConfig())
 func New(cfg Config) *analysis.Analyzer {
 	return &analysis.Analyzer{
 		Name: "nakedgo",
-		Doc:  "flags go statements outside internal/exec and internal/serve: all fan-out goes through the bounded pool's ordered merges",
+		Doc:  "flags go statements outside internal/exec, internal/serve and internal/ingest: all fan-out goes through the bounded pool's ordered merges",
 		Run:  func(pass *analysis.Pass) error { return run(cfg, pass) },
 	}
 }
@@ -50,7 +53,7 @@ func run(cfg Config, pass *analysis.Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				pass.Reportf(g.Pos(),
-					"naked go statement outside internal/exec and internal/serve: fan out through exec's bounded pool (ForEach/Map/Reduce) or justify with //lint:nakedgo-ok")
+					"naked go statement outside internal/exec, internal/serve and internal/ingest: fan out through exec's bounded pool (ForEach/Map/Reduce) or justify with //lint:nakedgo-ok")
 			}
 			return true
 		})

@@ -9,7 +9,7 @@ import (
 
 func TestNakedGo(t *testing.T) {
 	a := nakedgo.New(nakedgo.Config{Allowed: func(path string) bool {
-		return path == "pool"
+		return path == "pool" || path == "flush"
 	}})
-	analyzertest.Run(t, "testdata", a, "worker", "pool")
+	analyzertest.Run(t, "testdata", a, "worker", "pool", "flush", "flushout")
 }

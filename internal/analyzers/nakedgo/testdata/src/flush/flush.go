@@ -1,0 +1,16 @@
+// Package flush models the ingest pipeline in the fixtures: a package on
+// the allowance whose goroutines are lifecycle loops, joined on close.
+package flush
+
+func commit() {}
+
+// loop spawns a lifecycle goroutine; the package is allowed, so nothing is
+// flagged.
+func loop() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		commit()
+		close(done)
+	}()
+	return done
+}

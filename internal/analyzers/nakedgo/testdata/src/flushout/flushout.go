@@ -1,0 +1,15 @@
+// Package flushout reimplements flush's loop outside the allowance: the
+// same shape is flagged when the package does not own concurrency.
+package flushout
+
+func commit() {}
+
+// loop spawns directly and is flagged.
+func loop() chan struct{} {
+	done := make(chan struct{})
+	go func() { // want `naked go statement outside internal/exec, internal/serve and internal/ingest`
+		commit()
+		close(done)
+	}()
+	return done
+}

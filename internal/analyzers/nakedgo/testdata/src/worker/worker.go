@@ -6,7 +6,7 @@ func work() {}
 
 // fan spawns directly and is flagged.
 func fan() {
-	go work() // want `naked go statement outside internal/exec and internal/serve`
+	go work() // want `naked go statement outside internal/exec, internal/serve and internal/ingest`
 }
 
 // justified documents why a direct goroutine is required here.

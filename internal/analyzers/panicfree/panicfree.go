@@ -47,6 +47,9 @@ func DefaultConfig() Config {
 		"ps3/internal/gbt":   {"FromSnapshot"},
 		// ReadPicker/ReadLSS restore the learned stack from snapshot bytes.
 		"ps3/internal/picker": {"ReadPicker", "ReadLSS"},
+		// WAL recovery parses logs cut mid-write by a crash: framed scans
+		// and row decoding must error on torn bytes, never panic.
+		"ps3/internal/ingest": {"ReadWAL", "DecodeRows"},
 	}}
 }
 

@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ps3/internal/core"
+	"ps3/internal/serve"
+)
+
+// BenchmarkIngestAppend measures acknowledged append throughput — WAL
+// durability included — at both commit disciplines: synchronous fsync per
+// batch and a group-commit window that amortizes the fsync across
+// concurrent batches.
+func BenchmarkIngestAppend(b *testing.B) {
+	for _, window := range []time.Duration{0, 2 * time.Millisecond} {
+		b.Run(fmt.Sprintf("window=%v", window), func(b *testing.B) {
+			base, _, num, cat, _ := ingestFixture(b, 0)
+			pipe, err := Open(Config{
+				Dir:          b.TempDir(),
+				RowsPerPart:  1 << 20, // no seals: isolate the WAL+memtable path
+				CommitWindow: window,
+				ManualFlush:  true,
+			}, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pipe.Close()
+			const batch = 64
+			span := len(num) - fixBaseRows
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := fixBaseRows + (i*batch)%(span-batch)
+				if err := pipe.AppendRows(num[lo:lo+batch], cat[lo:lo+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkIngestFlush measures the full flush path per segment: seal,
+// stats extension, segment encode+fsync+rename, WAL rotation with re-log,
+// and snapshot rebuild.
+func BenchmarkIngestFlush(b *testing.B) {
+	base, _, num, cat, _ := ingestFixture(b, 0)
+	pipe, err := Open(Config{
+		Dir:         b.TempDir(),
+		RowsPerPart: fixRowsPerPart,
+		ManualFlush: true,
+	}, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pipe.Close()
+	span := len(num) - fixBaseRows
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lo := fixBaseRows + (i*fixRowsPerPart)%(span-fixRowsPerPart)
+		if err := pipe.AppendRows(num[lo:lo+fixRowsPerPart], cat[lo:lo+fixRowsPerPart]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := pipe.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "flush-ms")
+}
+
+// BenchmarkIngestSwapStall serves queries through serve.Server while a
+// background writer drives appends, flushes and hot snapshot swaps; the
+// p99 query latency is the stall a reader can observe across a swap.
+func BenchmarkIngestSwapStall(b *testing.B) {
+	base, _, num, cat, queries := ingestFixture(b, 12)
+	srv, err := serve.New(base, serve.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := Open(Config{
+		Dir:          b.TempDir(),
+		RowsPerPart:  fixRowsPerPart,
+		CommitWindow: 200 * time.Microsecond,
+		OnPublish: func(sys *core.System, version int) {
+			_ = srv.Swap(sys)
+		},
+	}, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // background writer; joined before the benchmark returns
+		defer wg.Done()
+		const batch = 64
+		span := len(num) - fixBaseRows
+		for i := 0; ; i += batch {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := fixBaseRows + i%(span-batch)
+			if err := pipe.AppendRows(num[lo:lo+batch], cat[lo:lo+batch]); err != nil {
+				return // pipeline closing under us ends the writer
+			}
+		}
+	}()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := srv.Query(queries[i%len(queries)], 0.2); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if err := pipe.Close(); err != nil {
+		b.Fatal(err)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-query-ms")
+	b.ReportMetric(float64(srv.SnapshotVersion()-1), "swaps")
+}

@@ -1,0 +1,59 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ps3/internal/store"
+	"ps3/internal/table"
+)
+
+// Segment files are ordinary store-format tables (same header, per-column
+// encoding chooser, CRC blocks) holding only the partitions sealed since
+// the previous flush, plus the dictionary snapshot taken at flush start.
+// Names are zero-padded so lexical order is segment order.
+
+func segmentName(i int) string { return fmt.Sprintf("segment-%06d.ps3", i) }
+func walName(i int) string     { return fmt.Sprintf("wal-%06d.log", i) }
+
+// syncDir fsyncs a directory so a just-created, renamed or removed entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSegmentTemp writes partitions as a store file at the segment's
+// temporary name, fsyncing the contents. The caller renames it into place
+// under the pipeline lock (and fsyncs the directory) once the flush is
+// ready to commit; stray .tmp files found at recovery are deleted. hints
+// carries per-column encoding hints indexed by position within parts.
+func writeSegmentTemp(dir string, idx int, schema *table.Schema, dict *table.Dict, parts []*table.Partition, hints func(part, col int) (store.ColHint, bool)) (string, error) {
+	final := filepath.Join(dir, segmentName(idx))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	t := &table.Table{Schema: schema, Dict: dict, Parts: parts}
+	_, err = store.WriteWith(f, t, store.WriteOptions{Hints: hints})
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("ingest: write segment %d: %w", idx, err)
+	}
+	return tmp, nil
+}

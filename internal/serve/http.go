@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 )
 
@@ -10,13 +11,32 @@ import (
 // any load balancer.
 //
 //	POST /query    {"sql": "...", "budget": 0.05}  → Response
+//	POST /append   {"rows": [[cell, ...], ...]}    → appendResponse
 //	GET  /stats    → Metrics
 //	GET  /healthz  → 200 "ok"
+//
+// An append row lists one cell per schema column in schema order: a JSON
+// number (or null, decoded as NaN — JSON has no NaN literal) for numeric
+// columns, a string for categorical ones. The call returns after the rows
+// are durably logged; 409 on a read-only server.
 
 // queryRequest is the POST /query body.
 type queryRequest struct {
 	SQL    string  `json:"sql"`
 	Budget float64 `json:"budget"`
+}
+
+// appendRequest is the POST /append body.
+type appendRequest struct {
+	Rows [][]any `json:"rows"`
+}
+
+// appendResponse acknowledges a durable append.
+type appendResponse struct {
+	Appended int `json:"appended"`
+	// SnapshotVersion is the version serving at acknowledgement time;
+	// the appended rows appear in queries no later than the next version.
+	SnapshotVersion int64 `json:"snapshot_version"`
 }
 
 // errorResponse is the JSON error body.
@@ -28,6 +48,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -56,6 +77,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.Appender() == nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "server is read-only; start with -ingest to accept appends"})
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"rows\" field"})
+		return
+	}
+	schema := s.System().Source.TableSchema()
+	num := make([][]float64, len(req.Rows))
+	cat := make([][]string, len(req.Rows))
+	for i, row := range req.Rows {
+		if len(row) != len(schema.Cols) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("row %d has %d cells, schema has %d columns", i, len(row), len(schema.Cols))})
+			return
+		}
+		nr := make([]float64, len(schema.Cols))
+		cr := make([]string, len(schema.Cols))
+		for c, col := range schema.Cols {
+			cell := row[c]
+			if col.IsNumeric() {
+				switch v := cell.(type) {
+				case float64:
+					nr[c] = v
+				case nil:
+					nr[c] = math.NaN()
+				default:
+					writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("row %d column %q: want a number or null, got %T", i, col.Name, cell)})
+					return
+				}
+				continue
+			}
+			v, ok := cell.(string)
+			if !ok {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("row %d column %q: want a string, got %T", i, col.Name, cell)})
+				return
+			}
+			cr[c] = v
+		}
+		num[i] = nr
+		cat[i] = cr
+	}
+	if err := s.Append(num, cat); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{Appended: len(req.Rows), SnapshotVersion: s.SnapshotVersion()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

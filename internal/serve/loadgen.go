@@ -36,12 +36,24 @@ type LoadReport struct {
 	// templates and drives this toward 1.
 	PickCacheHits    int64
 	PickCacheHitRate float64
+	// Appends / AppendFailures / AvgAppendMs / P99AppendMs describe the
+	// write half of a mixed run (LoadGenMixed); zero on query-only runs.
+	// Append latency includes the WAL group-commit wait, so it reflects
+	// the durability cost the write path actually pays.
+	Appends        int64
+	AppendFailures int64
+	AvgAppendMs    float64
+	P99AppendMs    float64
 }
 
 // String renders the report for logs.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (pick %.2fms scan %.2fms), %d partition reads, pick-cache hit rate %.1f%%",
+	s := fmt.Sprintf("%d requests (%d failed) in %v: %.0f qps, latency avg %.2fms p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms (pick %.2fms scan %.2fms), %d partition reads, pick-cache hit rate %.1f%%",
 		r.Requests, r.Failures, r.Duration.Round(time.Millisecond), r.QPS, r.AvgMs, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.AvgPickMs, r.AvgScanMs, r.PartsRead, 100*r.PickCacheHitRate)
+	if r.Appends > 0 {
+		s += fmt.Sprintf("; %d appends (%d failed) avg %.2fms p99 %.2fms", r.Appends, r.AppendFailures, r.AvgAppendMs, r.P99AppendMs)
+	}
+	return s
 }
 
 // LoadGen drives total requests through the server from concurrency workers,
@@ -74,6 +86,24 @@ func (s *Server) LoadGenZipf(queries []*query.Query, budget float64, concurrency
 		return func(int) int { return int(z.Uint64()) }
 	}
 	return s.loadGen(queries, budget, concurrency, total, pick)
+}
+
+// LoadGenMixed drives a read/write mix: every appendEvery-th operation is
+// a row-batch append through the server's append sink (nextBatch supplies
+// batches and must be safe for concurrent use), the rest are round-robin
+// queries. It exercises serving under live ingest — snapshot swaps land
+// mid-run — and reports query and append latency separately.
+func (s *Server) LoadGenMixed(queries []*query.Query, budget float64, concurrency, total, appendEvery int, nextBatch func() (num [][]float64, cat [][]string)) (LoadReport, error) {
+	if appendEvery < 2 {
+		return LoadReport{}, fmt.Errorf("serve: appendEvery must be >= 2 (every appendEvery-th op is an append), got %d", appendEvery)
+	}
+	if nextBatch == nil {
+		return LoadReport{}, fmt.Errorf("serve: mixed loadgen needs a batch source")
+	}
+	if s.Appender() == nil {
+		return LoadReport{}, fmt.Errorf("serve: mixed loadgen needs an append sink; start the server with ingest enabled")
+	}
+	return s.loadGenMixed(queries, budget, concurrency, total, appendEvery, nextBatch)
 }
 
 // loadGen is the shared driver. pick, when non-nil, builds a per-worker
@@ -162,6 +192,119 @@ func (s *Server) loadGen(queries []*query.Query, budget float64, concurrency, to
 	// Pick vs scan split over this run, summed from this run's own
 	// responses so concurrent foreign traffic is never attributed to it.
 	if ok := int64(total) - failures.Load(); ok > 0 {
+		rep.AvgPickMs = float64(pickUs.Load()) / 1000 / float64(ok)
+		rep.AvgScanMs = float64(scanUs.Load()) / 1000 / float64(ok)
+		rep.PickCacheHitRate = float64(rep.PickCacheHits) / float64(ok)
+	}
+	return rep, nil
+}
+
+// loadGenMixed is the read/write driver behind LoadGenMixed.
+func (s *Server) loadGenMixed(queries []*query.Query, budget float64, concurrency, total, appendEvery int, nextBatch func() ([][]float64, [][]string)) (LoadReport, error) {
+	if len(queries) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: loadgen needs at least one query")
+	}
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if total <= 0 {
+		total = len(queries)
+	}
+	var (
+		next        atomic.Int64
+		failures    atomic.Int64
+		parts       atomic.Int64
+		pickUs      atomic.Int64
+		scanUs      atomic.Int64
+		pickHits    atomic.Int64
+		appends     atomic.Int64
+		appendFails atomic.Int64
+		wg          sync.WaitGroup
+	)
+	qlats := make([][]time.Duration, concurrency)
+	alats := make([][]time.Duration, concurrency)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var qmine, amine []time.Duration
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					break
+				}
+				if i%appendEvery == appendEvery-1 {
+					num, cat := nextBatch()
+					appends.Add(1)
+					t0 := time.Now()
+					if err := s.Append(num, cat); err != nil {
+						appendFails.Add(1)
+						continue
+					}
+					amine = append(amine, time.Since(t0))
+					continue
+				}
+				t0 := time.Now()
+				resp, err := s.Query(queries[i%len(queries)], budget)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				qmine = append(qmine, time.Since(t0))
+				parts.Add(int64(resp.PartsRead))
+				pickUs.Add(int64(resp.PickMs * 1000))
+				scanUs.Add(int64(resp.ScanMs * 1000))
+				if resp.PickCached {
+					pickHits.Add(1)
+				}
+			}
+			qlats[w] = qmine
+			alats[w] = amine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var qs, as []time.Duration
+	for w := range qlats {
+		qs = append(qs, qlats[w]...)
+		as = append(as, alats[w]...)
+	}
+	sort.Slice(qs, func(a, b int) bool { return qs[a] < qs[b] })
+	sort.Slice(as, func(a, b int) bool { return as[a] < as[b] })
+	rep := LoadReport{
+		Requests:       int64(total) - appends.Load(),
+		Failures:       failures.Load(),
+		Duration:       elapsed,
+		PartsRead:      parts.Load(),
+		PickCacheHits:  pickHits.Load(),
+		Appends:        appends.Load(),
+		AppendFailures: appendFails.Load(),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(total) / elapsed.Seconds()
+	}
+	if len(qs) > 0 {
+		var sum time.Duration
+		for _, d := range qs {
+			sum += d
+		}
+		rep.AvgMs = float64(sum) / float64(len(qs)) / float64(time.Millisecond)
+		rep.P50Ms = float64(qs[len(qs)/2]) / float64(time.Millisecond)
+		rep.P95Ms = float64(qs[len(qs)*95/100]) / float64(time.Millisecond)
+		rep.P99Ms = float64(qs[len(qs)*99/100]) / float64(time.Millisecond)
+		rep.MaxMs = float64(qs[len(qs)-1]) / float64(time.Millisecond)
+	}
+	if len(as) > 0 {
+		var sum time.Duration
+		for _, d := range as {
+			sum += d
+		}
+		rep.AvgAppendMs = float64(sum) / float64(len(as)) / float64(time.Millisecond)
+		rep.P99AppendMs = float64(as[len(as)*99/100]) / float64(time.Millisecond)
+	}
+	if ok := rep.Requests - rep.Failures; ok > 0 {
 		rep.AvgPickMs = float64(pickUs.Load()) / 1000 / float64(ok)
 		rep.AvgScanMs = float64(scanUs.Load()) / 1000 / float64(ok)
 		rep.PickCacheHitRate = float64(rep.PickCacheHits) / float64(ok)

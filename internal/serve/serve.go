@@ -88,6 +88,10 @@ func (c Config) withDefaults() Config {
 type snapState struct {
 	sys   *core.System
 	picks *picker.SelectionCache // nil when pick caching is disabled
+	// version numbers the installed snapshot: 1 for the system the server
+	// started with, incremented by every Swap. Responses carry it so a
+	// client (or a test) can tell which snapshot answered.
+	version int64
 
 	// mu guards the compiled-query LRU (entries map + recency list).
 	mu      sync.Mutex
@@ -100,6 +104,14 @@ type snapState struct {
 type Server struct {
 	cfg   Config
 	state atomic.Pointer[snapState]
+
+	// swapMu serializes Swap so snapshot versions are assigned
+	// monotonically even when swaps race.
+	swapMu sync.Mutex
+
+	// appender, when set, accepts live row appends (POST /append); nil
+	// servers are read-only.
+	appender atomic.Pointer[RowAppender]
 
 	// sem bounds in-flight scans.
 	sem chan struct{}
@@ -115,6 +127,11 @@ type Server struct {
 	pickNs      atomic.Int64
 	scanNs      atomic.Int64
 	swaps       atomic.Int64
+
+	appends        atomic.Int64
+	appendFailures atomic.Int64
+	appendedRows   atomic.Int64
+	appendNs       atomic.Int64
 }
 
 // cacheEntry is one LRU slot.
@@ -124,9 +141,10 @@ type cacheEntry struct {
 }
 
 // newSnapState builds the per-snapshot bundle.
-func newSnapState(sys *core.System, cfg Config) *snapState {
+func newSnapState(sys *core.System, cfg Config, version int64) *snapState {
 	st := &snapState{
 		sys:     sys,
+		version: version,
 		entries: make(map[string]*list.Element, cfg.CacheSize),
 		recency: list.New(),
 	}
@@ -147,8 +165,34 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxInFlight),
 	}
-	s.state.Store(newSnapState(sys, cfg))
+	s.state.Store(newSnapState(sys, cfg, 1))
 	return s, nil
+}
+
+// RowAppender is the server's hook into a live write path: ingest's
+// pipeline implements it. Kept as a one-method interface so serve depends
+// on the capability, not on the WAL machinery.
+type RowAppender interface {
+	AppendRows(num [][]float64, cat [][]string) error
+}
+
+// SetAppender installs (or, with nil, removes) the live append sink behind
+// POST /append.
+func (s *Server) SetAppender(a RowAppender) {
+	if a == nil {
+		s.appender.Store(nil)
+		return
+	}
+	s.appender.Store(&a)
+}
+
+// Appender returns the installed append sink, or nil on a read-only
+// server.
+func (s *Server) Appender() RowAppender {
+	if p := s.appender.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // System returns the currently installed system (read-only use).
@@ -165,7 +209,9 @@ func (s *Server) Swap(sys *core.System) error {
 	if sys.Picker == nil {
 		return fmt.Errorf("serve: swapped-in system is not trained")
 	}
-	old := s.state.Swap(newSnapState(sys, s.cfg))
+	s.swapMu.Lock()
+	old := s.state.Swap(newSnapState(sys, s.cfg, s.state.Load().version+1))
+	s.swapMu.Unlock()
 	if old.picks != nil {
 		// Fail-fast for in-flight waiters on the outgoing cache: flights
 		// finishing after the swap are dropped, not adopted.
@@ -174,6 +220,28 @@ func (s *Server) Swap(sys *core.System) error {
 	s.swaps.Add(1)
 	return nil
 }
+
+// Append ingests a batch of rows through the installed appender, counting
+// it in the server's metrics. Read-only servers return an error.
+func (s *Server) Append(num [][]float64, cat [][]string) error {
+	a := s.Appender()
+	if a == nil {
+		s.appendFailures.Add(1)
+		return fmt.Errorf("serve: server is read-only; no append sink installed")
+	}
+	start := time.Now()
+	s.appends.Add(1)
+	if err := a.AppendRows(num, cat); err != nil {
+		s.appendFailures.Add(1)
+		return err
+	}
+	s.appendedRows.Add(int64(len(num)))
+	s.appendNs.Add(int64(time.Since(start)))
+	return nil
+}
+
+// SnapshotVersion returns the version of the snapshot currently serving.
+func (s *Server) SnapshotVersion() int64 { return s.state.Load().version }
 
 // Response is one served answer, shaped for JSON transport: groups are
 // label-sorted so responses are stable and diffable.
@@ -185,6 +253,9 @@ type Response struct {
 	PartsRead int      `json:"parts_read"`
 	FracRead  float64  `json:"frac_read"`
 	Cached    bool     `json:"cached"`
+	// SnapshotVersion identifies the installed snapshot that answered: 1
+	// for the boot system, +1 per Swap.
+	SnapshotVersion int64 `json:"snapshot_version"`
 	// PickCached reports that the partition selection came from the
 	// pick-result cache (or joined an in-flight pick) instead of being
 	// computed by this request. The answer is identical either way.
@@ -285,15 +356,16 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 	s.scanNs.Add(int64(res.ScanTime))
 
 	resp := &Response{
-		Query:      key,
-		Budget:     budget,
-		PartsRead:  res.PartsRead,
-		FracRead:   res.FracRead,
-		Cached:     cached,
-		PickCached: pickHit,
-		LatencyMs:  float64(lat) / float64(time.Millisecond),
-		PickMs:     float64(res.PickTime) / float64(time.Millisecond),
-		ScanMs:     float64(res.ScanTime) / float64(time.Millisecond),
+		Query:           key,
+		Budget:          budget,
+		PartsRead:       res.PartsRead,
+		FracRead:        res.FracRead,
+		Cached:          cached,
+		PickCached:      pickHit,
+		SnapshotVersion: st.version,
+		LatencyMs:       float64(lat) / float64(time.Millisecond),
+		PickMs:          float64(res.PickTime) / float64(time.Millisecond),
+		ScanMs:          float64(res.ScanTime) / float64(time.Millisecond),
 	}
 	for _, a := range q.Aggs {
 		resp.Aggs = append(resp.Aggs, a.String())
@@ -360,16 +432,26 @@ func (s *Server) PickCacheStats() picker.SelectionCacheStats {
 
 // Metrics is a point-in-time snapshot of the server's counters.
 type Metrics struct {
-	Requests     int64   `json:"requests"`
-	Failures     int64   `json:"failures"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheLen     int     `json:"cache_len"`
-	PartsRead    int64   `json:"parts_read"`
-	InFlight     int64   `json:"in_flight"`
-	Swaps        int64   `json:"swaps"`
-	AvgLatencyMs float64 `json:"avg_latency_ms"`
-	MaxLatencyMs float64 `json:"max_latency_ms"`
+	Requests    int64 `json:"requests"`
+	Failures    int64 `json:"failures"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheLen    int   `json:"cache_len"`
+	PartsRead   int64 `json:"parts_read"`
+	InFlight    int64 `json:"in_flight"`
+	Swaps       int64 `json:"swaps"`
+	// SnapshotVersion is the currently installed snapshot's version.
+	SnapshotVersion int64 `json:"snapshot_version"`
+	// Appends / AppendFailures / AppendedRows / AvgAppendMs count live
+	// ingest traffic through the server's append sink (zero on read-only
+	// servers). AvgAppendMs is per successful append batch and includes
+	// the WAL group-commit wait.
+	Appends        int64   `json:"appends"`
+	AppendFailures int64   `json:"append_failures"`
+	AppendedRows   int64   `json:"appended_rows"`
+	AvgAppendMs    float64 `json:"avg_append_ms"`
+	AvgLatencyMs   float64 `json:"avg_latency_ms"`
+	MaxLatencyMs   float64 `json:"max_latency_ms"`
 	// AvgPickMs / AvgScanMs split the served latency into partition
 	// selection (the learned picker's batched inference) and the weighted
 	// partition scans, per successful request; PickFrac is pick time as a
@@ -408,6 +490,14 @@ func (s *Server) Stats() Metrics {
 		PartsRead:   s.partsRead.Load(),
 		InFlight:    s.inFlight.Load(),
 		Swaps:       s.swaps.Load(),
+
+		SnapshotVersion: st.version,
+		Appends:         s.appends.Load(),
+		AppendFailures:  s.appendFailures.Load(),
+		AppendedRows:    s.appendedRows.Load(),
+	}
+	if ok := m.Appends - m.AppendFailures; ok > 0 {
+		m.AvgAppendMs = float64(s.appendNs.Load()) / float64(ok) / float64(time.Millisecond)
 	}
 	pickNs, scanNs := s.pickNs.Load(), s.scanNs.Load()
 	if ok := m.Requests - m.Failures; ok > 0 {

@@ -185,49 +185,57 @@ func (ts *TableStats) buildBaseMatrix() []float64 {
 	m := ts.Space.Dim()
 	out := make([]float64, len(ts.Parts)*m)
 	for i, ps := range ts.Parts {
-		v := out[i*m : (i+1)*m]
-		for ci := range ts.Schema.Cols {
-			off := ts.Space.colSlots[ci]
-			cs := &ps.Cols[ci]
-			if cs.Measures != nil {
-				mm := cs.Measures
-				v[off+0] = mm.Mean()
-				v[off+1] = mm.MeanSq()
-				v[off+2] = mm.Std()
-				if mm.Count > 0 {
-					v[off+3] = mm.Min
-					v[off+4] = mm.Max
-				}
-				if mm.HasLog && mm.Count > 0 {
-					v[off+5] = mm.LogMean()
-					v[off+6] = mm.LogMeanSq()
-					v[off+7] = mm.LogMin
-					v[off+8] = mm.LogMax
-				}
+		ts.fillBaseRow(out[i*m:(i+1)*m], ps)
+	}
+	return out
+}
+
+// fillBaseRow fills one partition's query-independent feature row
+// (selectivity slots left at zero). It is the per-partition half of
+// buildBaseMatrix, shared with the incremental extension path
+// (ExtendedWith), which appends rows for new partitions without retouching
+// the existing matrix.
+func (ts *TableStats) fillBaseRow(v []float64, ps *PartitionStats) {
+	for ci := range ts.Schema.Cols {
+		off := ts.Space.colSlots[ci]
+		cs := &ps.Cols[ci]
+		if cs.Measures != nil {
+			mm := cs.Measures
+			v[off+0] = mm.Mean()
+			v[off+1] = mm.MeanSq()
+			v[off+2] = mm.Std()
+			if mm.Count > 0 {
+				v[off+3] = mm.Min
+				v[off+4] = mm.Max
 			}
-			nhh, avgHH, maxHH := cs.HH.Stats()
-			v[off+9] = float64(nhh)
-			v[off+10] = avgHH
-			v[off+11] = maxHH
-			v[off+12] = cs.AKMV.DistinctEstimate()
-			avgDV, maxDV, minDV, sumDV := cs.AKMV.FreqStats()
-			v[off+13] = avgDV
-			v[off+14] = maxDV
-			v[off+15] = minDV
-			v[off+16] = sumDV
+			if mm.HasLog && mm.Count > 0 {
+				v[off+5] = mm.LogMean()
+				v[off+6] = mm.LogMeanSq()
+				v[off+7] = mm.LogMin
+				v[off+8] = mm.LogMax
+			}
 		}
-		//lint:mapiter-ok each column writes its own disjoint dense slot range; order-free
-		for ci, slot := range ts.Space.bitmapSlots {
-			bm := ps.Bitmap[ci]
-			bits := ts.Space.bitmapBits[ci]
-			for b := 0; b < bits; b++ {
-				if bm&(1<<uint(b)) != 0 {
-					v[slot+b] = 1
-				}
+		nhh, avgHH, maxHH := cs.HH.Stats()
+		v[off+9] = float64(nhh)
+		v[off+10] = avgHH
+		v[off+11] = maxHH
+		v[off+12] = cs.AKMV.DistinctEstimate()
+		avgDV, maxDV, minDV, sumDV := cs.AKMV.FreqStats()
+		v[off+13] = avgDV
+		v[off+14] = maxDV
+		v[off+15] = minDV
+		v[off+16] = sumDV
+	}
+	//lint:mapiter-ok each column writes its own disjoint dense slot range; order-free
+	for ci, slot := range ts.Space.bitmapSlots {
+		bm := ps.Bitmap[ci]
+		bits := ts.Space.bitmapBits[ci]
+		for b := 0; b < bits; b++ {
+			if bm&(1<<uint(b)) != 0 {
+				v[slot+b] = 1
 			}
 		}
 	}
-	return out
 }
 
 // Features builds the N×M feature matrix for query q: the precomputed base

@@ -1,12 +1,21 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"ps3/internal/table"
 )
+
+// ErrShortFile reports a table data file too short to hold either format's
+// header: an empty or truncated file, not a decodable table in any
+// encoding. Callers that probe for optional files — ingest recovery
+// deciding whether a segment exists yet — match it with errors.Is to
+// distinguish "nothing written" from genuine corruption inside a
+// recognized format.
+var ErrShortFile = errors.New("file is shorter than any table header")
 
 // Format identifies a table data file's on-disk encoding.
 type Format string
@@ -66,8 +75,11 @@ func OpenTableFile(path string, opts Options) (*OpenedTable, error) {
 	_, err = io.ReadFull(f, magic[:])
 	switch {
 	case err == io.EOF || err == io.ErrUnexpectedEOF:
-		// Shorter than the magic: not a store file; let the gob path
-		// produce its decode error.
+		// Shorter than the magic: there is nothing to sniff, in either
+		// format. Report the typed error instead of falling through to a
+		// generic gob decode failure.
+		f.Close()
+		return nil, fmt.Errorf("store: open %s: %w", path, ErrShortFile)
 	case err != nil:
 		f.Close()
 		return nil, fmt.Errorf("store: sniff %s: %w", path, err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math/rand"
@@ -528,6 +529,43 @@ func TestOpenTableFileSniffsFormats(t *testing.T) {
 	}
 	if _, err := OpenTableFile(filepath.Join(dir, "missing"), Options{}); err == nil {
 		t.Fatal("missing file should not open")
+	}
+}
+
+// TestOpenTableFileShortFile: files too short to hold any header — empty,
+// or a byte-level prefix of either format's magic — must fail with the
+// typed ErrShortFile, so probing callers (ingest recovery) can tell
+// "nothing written yet" from corruption inside a recognized format.
+func TestOpenTableFileShortFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"one-byte", []byte{'P'}},
+		{"magic-prefix", []byte(headerMagic[:len(headerMagic)-1])},
+	} {
+		path := filepath.Join(dir, tc.name)
+		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenTableFile(path, Options{})
+		if err == nil {
+			t.Fatalf("%s: opened a %d-byte file", tc.name, len(tc.data))
+		}
+		if !errors.Is(err, ErrShortFile) {
+			t.Fatalf("%s: error %v, want errors.Is ErrShortFile", tc.name, err)
+		}
+	}
+	// A file exactly as long as the magic but with different bytes is a
+	// sniffable (failed) gob candidate, not a short file.
+	full := filepath.Join(dir, "wrong-magic")
+	if err := os.WriteFile(full, []byte("XXXXXXXX")[:len(headerMagic)], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTableFile(full, Options{}); err == nil || errors.Is(err, ErrShortFile) {
+		t.Fatalf("wrong-magic file: error %v, want a non-short-file failure", err)
 	}
 }
 
