@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-serve bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke bench-ingest bench-ingest-smoke serve-bench vet fmt-check lint verify
+.PHONY: build test race race-serve chaos-smoke bench bench-exec bench-store bench-store-smoke bench-pick bench-pick-smoke bench-cluster bench-cluster-smoke bench-ingest bench-ingest-smoke serve-bench vet fmt-check lint verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ race:
 # must match the sequential baseline bit for bit.
 race-serve:
 	$(GO) test -race -count=1 -run 'TestConcurrentServingMatchesSequentialBaseline|TestConcurrentPagedServingMatchesResidentBaseline' ./internal/serve/
+
+# Fault-injection chaos suite under the race detector: randomized transient
+# disk faults under concurrent append+query load (no acknowledged row lost,
+# no silently wrong answer, monotonic snapshot versions), plus the
+# deterministic degraded modes — quarantined-partition serving, WAL-poison
+# read-only flip, drain-time shedding, mid-scan deadlines — and the
+# no-goroutine-leak contract after shutdown.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -114,7 +123,8 @@ vet: fmt-check
 # Custom invariant linters (internal/analyzers, driven by cmd/ps3lint):
 # mapiter (determinism), decodebypass (lazy-decode seam), scratchescape
 # (pooled scratch ownership), panicfree (untrusted decode), nakedgo
-# (concurrency choke point) over the whole module, test files included.
+# (concurrency choke point), ctxflow (deadline propagation) over the whole
+# module, test files included.
 # Exits nonzero on any finding not suppressed by a justified
 # //lint:<name>-ok directive.
 lint:

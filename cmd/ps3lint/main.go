@@ -1,10 +1,11 @@
 // Command ps3lint is the repo's invariant multichecker: it runs the custom
 // static analyzers under internal/analyzers — mapiter, decodebypass,
-// scratchescape, panicfree, nakedgo — over the module and exits nonzero on
-// any unsuppressed finding. `make lint` (and through it `make verify` and
-// CI) runs it over ./... so the determinism, decode-seam, scratch-ownership,
-// error-not-panic, and bounded-fan-out contracts are checked on every build,
-// not re-argued in review.
+// scratchescape, panicfree, nakedgo, ctxflow — over the module and exits
+// nonzero on any unsuppressed finding. `make lint` (and through it
+// `make verify` and CI) runs it over ./... so the determinism, decode-seam,
+// scratch-ownership, error-not-panic, bounded-fan-out, and
+// deadline-propagation contracts are checked on every build, not re-argued
+// in review.
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"ps3/internal/analyzers/analysis"
+	"ps3/internal/analyzers/ctxflow"
 	"ps3/internal/analyzers/decodebypass"
 	"ps3/internal/analyzers/load"
 	"ps3/internal/analyzers/mapiter"
@@ -38,6 +40,7 @@ var analyzers = []*analysis.Analyzer{
 	scratchescape.Analyzer,
 	panicfree.Analyzer,
 	nakedgo.Analyzer,
+	ctxflow.Analyzer,
 }
 
 func main() {

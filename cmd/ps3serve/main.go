@@ -27,11 +27,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ps3/internal/core"
@@ -51,6 +55,9 @@ func main() {
 		cache      = flag.Int("cache", 0, "compiled-query cache entries (0 = default 256)")
 		cacheBytes = flag.Int64("cachebytes", 0, "partition cache budget in bytes for store-format tables (0 = default 256 MiB, negative = unbounded)")
 		inflight   = flag.Int("maxinflight", 0, "max concurrent partition scans (0 = 2×GOMAXPROCS)")
+		maxQueue   = flag.Int("maxqueue", 0, "queries queued beyond -maxinflight before shedding with 503 (0 = 4×maxinflight, negative = unbounded)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request serving deadline; exceeded requests return 504 (0 = none)")
+		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining in-flight queries on SIGTERM/SIGINT")
 
 		pickCache = flag.Int("pickcache", 0, "pick-result cache entries (0 = default 512, negative = disabled)")
 
@@ -93,7 +100,14 @@ func main() {
 	if err := sf.Close(); err != nil {
 		fatal(err)
 	}
-	srv, err := serve.New(sys, serve.Config{DefaultBudget: *budget, CacheSize: *cache, PickCacheSize: *pickCache, MaxInFlight: *inflight})
+	srv, err := serve.New(sys, serve.Config{
+		DefaultBudget:  *budget,
+		CacheSize:      *cache,
+		PickCacheSize:  *pickCache,
+		MaxInFlight:    *inflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTimeout,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -200,12 +214,44 @@ func main() {
 		return
 	}
 
-	endpoints := "POST /query, GET /stats, GET /healthz"
+	endpoints := "POST /query, GET /stats, GET /healthz, GET /readyz"
 	if pipe != nil {
-		endpoints = "POST /query, POST /append, GET /stats, GET /healthz"
+		endpoints = "POST /query, POST /append, GET /stats, GET /healthz, GET /readyz"
 	}
 	fmt.Printf("listening on %s (%s)\n", *addr, endpoints)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }() //lint:nakedgo-ok listener lifecycle goroutine, joined via errc before exit
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	// Graceful shutdown: flip /readyz so load balancers stop routing here,
+	// shed new queries, let in-flight ones finish within the drain budget,
+	// then close the write path (the deferred pipe.Close commits the WAL).
+	fmt.Printf("shutting down: draining for up to %v\n", *drainWait)
+	srv.StartDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ps3serve: drain: %v (abandoning in-flight queries)\n", err)
+	}
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ps3serve: shutdown: %v\n", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 }

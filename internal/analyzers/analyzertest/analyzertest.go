@@ -114,16 +114,19 @@ func (ld *fixtureLoader) load(path string) (*fixturePkg, error) {
 	return p, nil
 }
 
-// Import implements types.Importer over sibling fixture packages. "sort" and
-// "slices" resolve to tiny stubs so fixtures can exercise the sorted-key
-// idiom hermetically.
+// Import implements types.Importer over sibling fixture packages. "sort",
+// "slices" and "context" resolve to tiny stubs so fixtures can exercise the
+// sorted-key and context-flow idioms hermetically.
 func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
 	if path == "sort" || path == "slices" {
 		return stubSortPackage(path), nil
 	}
+	if path == "context" {
+		return stubContextPackage(), nil
+	}
 	p, err := ld.load(path)
 	if err != nil {
-		return nil, fmt.Errorf("fixture import %q (fixtures may only import sibling fixtures, sort, or slices): %w", path, err)
+		return nil, fmt.Errorf("fixture import %q (fixtures may only import sibling fixtures, sort, slices, or context): %w", path, err)
 	}
 	p.pkg.MarkComplete()
 	return p.pkg, nil
@@ -145,6 +148,29 @@ func stubSortPackage(path string) *types.Package {
 	mk("Strings", strSlice)
 	mk("Ints", intSlice)
 	mk("Sort", types.NewInterfaceType(nil, nil))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// stubContextPackage fabricates a minimal "context" package: the Context
+// named interface (with an Err method, so clean fixtures can use the
+// parameter) and Background. Enough for ctxflow fixtures; the analyzer only
+// matches the named type's identity, not its method set.
+func stubContextPackage() *types.Package {
+	pkg := types.NewPackage("context", "context")
+	scope := pkg.Scope()
+	errSig := types.NewSignatureType(nil, nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, pkg, "", types.Universe.Lookup("error").Type())), false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, pkg, "Err", errSig),
+	}, nil)
+	iface.Complete()
+	tn := types.NewTypeName(token.NoPos, pkg, "Context", nil)
+	named := types.NewNamed(tn, iface, nil)
+	scope.Insert(tn)
+	bgSig := types.NewSignatureType(nil, nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, pkg, "", named)), false)
+	scope.Insert(types.NewFunc(token.NoPos, pkg, "Background", bgSig))
 	pkg.MarkComplete()
 	return pkg
 }

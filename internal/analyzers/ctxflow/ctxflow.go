@@ -1,0 +1,136 @@
+// Package ctxflow guards the deadline-propagation contract the robustness
+// layer depends on: a context.Context flows down the call stack as a
+// parameter, scoping exactly one request, and is never laundered through
+// longer-lived state. Two anti-patterns break that and are flagged:
+//
+//   - A context stored in a struct field. Struct lifetimes outlive requests,
+//     so a stored context either leaks a cancelled deadline into later work
+//     or pins a request's values past its end (the go vet "containedctx"
+//     family of bugs). Pass it as a parameter instead.
+//   - A function that takes a context and starts a goroutine without ever
+//     using the context. The spawned work is then invisible to cancellation:
+//     the caller's deadline fires, the request returns, and the goroutine
+//     keeps running — precisely the leak the serve layer's drain path must
+//     not have. Either thread the context into the work or don't accept one.
+//
+// Deliberate detachment (a lifecycle loop joined on Close, a fire-and-forget
+// telemetry hop) is justified with //lint:ctxflow-ok <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ps3/internal/analyzers/analysis"
+)
+
+// Analyzer is the repo-configured instance.
+var Analyzer = New()
+
+// New builds a ctxflow analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxflow",
+		Doc:  "flags context.Context stored in struct fields or ignored by functions that spawn goroutines: deadlines propagate as parameters or not at all",
+		Run:  run,
+	}
+}
+
+// isContext reports whether t is context.Context (possibly behind an alias).
+func isContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					checkStruct(pass, ts)
+				}
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStruct flags struct fields of type context.Context.
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if t := pass.TypeOf(field.Type); t != nil && isContext(t) {
+			pass.Reportf(field.Pos(),
+				"context.Context stored in a field of %s: contexts scope one request and are passed as parameters, not kept in longer-lived state", ts.Name.Name)
+		}
+	}
+}
+
+// checkFunc flags a declared function that takes a context, starts a
+// goroutine, and never uses the context: the spawned work cannot observe
+// cancellation, so the parameter is a false promise of deadline propagation.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	// Collect the context parameters' objects (nil for unnamed or blank
+	// parameters, which cannot be used at all).
+	type ctxParam struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var params []ctxParam
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			params = append(params, ctxParam{pos: field})
+			continue
+		}
+		for _, name := range field.Names {
+			params = append(params, ctxParam{obj: pass.Info.Defs[name], pos: name})
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	spawns := false
+	used := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = true
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	if !spawns {
+		return
+	}
+	for _, p := range params {
+		if p.obj != nil && used[p.obj] {
+			continue
+		}
+		pass.Reportf(p.pos.Pos(),
+			"%s takes a context.Context it never uses but starts a goroutine: thread the context into the spawned work (or justify the detachment)", fd.Name.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ps3/internal/analyzers/analyzertest"
+	"ps3/internal/analyzers/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.New(), "flagged", "suppressed", "clean")
+}

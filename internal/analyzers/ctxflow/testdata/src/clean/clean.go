@@ -1,0 +1,40 @@
+package clean
+
+import "context"
+
+// usesInSpawn threads the context into the goroutine: cancellation reaches
+// the spawned work.
+func usesInSpawn(ctx context.Context) error {
+	errs := make(chan error, 1)
+	go func() { errs <- ctx.Err() }()
+	return <-errs
+}
+
+// usesBeforeSpawn consults the context even though the goroutine itself
+// does not: the function made a cancellation decision, which is use.
+func usesBeforeSpawn(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	go func() {}()
+	return nil
+}
+
+// noSpawn takes a context and spawns nothing; an unused parameter here is
+// dead code, not a cancellation leak.
+func noSpawn(ctx context.Context) {}
+
+// noCtx spawns without promising deadline propagation.
+func noCtx(n int) int {
+	done := make(chan int)
+	go func() { done <- n }()
+	return <-done
+}
+
+// localCtx builds its own context; nothing was promised to a caller.
+func localCtx() error {
+	ctx := context.Background()
+	errs := make(chan error, 1)
+	go func() { errs <- ctx.Err() }()
+	return <-errs
+}

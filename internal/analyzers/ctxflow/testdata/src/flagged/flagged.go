@@ -1,0 +1,27 @@
+package flagged
+
+import "context"
+
+type server struct {
+	ctx  context.Context // want `context\.Context stored in a field of server`
+	name string
+}
+
+type twoCarriers struct {
+	a context.Context // want `context\.Context stored in a field of twoCarriers`
+	b context.Context // want `context\.Context stored in a field of twoCarriers`
+}
+
+func spawnsWithoutCtx(ctx context.Context, n int) int { // want `spawnsWithoutCtx takes a context\.Context it never uses but starts a goroutine`
+	done := make(chan int)
+	go func() { done <- n }()
+	return <-done
+}
+
+func blankCtx(_ context.Context) { // want `blankCtx takes a context\.Context it never uses but starts a goroutine`
+	go func() {}()
+}
+
+func unnamedCtx(context.Context) { // want `unnamedCtx takes a context\.Context it never uses but starts a goroutine`
+	go func() {}()
+}

@@ -1,0 +1,12 @@
+package suppressed
+
+import "context"
+
+type holder struct {
+	ctx context.Context //lint:ctxflow-ok carries the accept-loop's base context, closed with the holder
+}
+
+//lint:ctxflow-ok fire-and-forget telemetry hop, deliberately detached from the request
+func detach(ctx context.Context) {
+	go func() {}()
+}

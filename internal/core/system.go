@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -274,6 +275,15 @@ type Result struct {
 	// breakdown. Zero on RunExact, which does not pick.
 	PickTime time.Duration
 	ScanTime time.Duration
+	// Degraded reports that quarantined partitions were dropped from the
+	// selection before scanning: the answer covers less data than the
+	// picker chose, and SkippedParts lists what was excluded. A degraded
+	// answer is never silently wrong — callers surface the flag (the serve
+	// layer returns it per response) so the client can decide whether a
+	// partial answer is acceptable. Always false on RunExact, which fails
+	// rather than degrade.
+	Degraded     bool
+	SkippedParts []int
 }
 
 // Compile binds q to the system's table, ready for repeated execution via
@@ -317,24 +327,7 @@ func (s *System) RunCompiled(c *query.Compiled, budgetFrac float64) (*Result, er
 // (query, budget), skipping partition selection entirely. The selection is
 // read, never mutated. PickTime is zero: no picking happened here.
 func (s *System) RunSelection(c *query.Compiled, sel []query.WeightedPartition) (*Result, error) {
-	scanStart := time.Now()
-	ans, err := c.Estimate(s.Source, sel)
-	if err != nil {
-		return nil, err
-	}
-	vals := c.FinalValues(ans)
-	labels := make(map[string]string, len(vals))
-	for g := range vals { //lint:mapiter-ok independent per-key map-to-map transform; order-free
-		labels[g] = c.GroupLabel(g)
-	}
-	return &Result{
-		Values:    vals,
-		Labels:    labels,
-		Selection: sel,
-		PartsRead: len(sel),
-		FracRead:  float64(len(sel)) / float64(s.Source.NumParts()),
-		ScanTime:  time.Since(scanStart),
-	}, nil
+	return s.RunSelectionCtx(context.Background(), c, sel)
 }
 
 // RunExact evaluates q exactly over every partition (the baseline a user
@@ -344,34 +337,7 @@ func (s *System) RunSelection(c *query.Compiled, sel []query.WeightedPartition) 
 // per-partition answers in partition order, so the results are
 // bit-identical (weight-1 accumulation equals plain summation in IEEE-754).
 func (s *System) RunExact(q *query.Query) (*Result, error) {
-	c, err := s.compile(q)
-	if err != nil {
-		return nil, err
-	}
-	var total *query.Answer
-	if s.Table != nil {
-		total, _ = c.GroundTruth(s.Table)
-	} else {
-		all := make([]query.WeightedPartition, s.Source.NumParts())
-		for i := range all {
-			all[i] = query.WeightedPartition{Part: i, Weight: 1}
-		}
-		total, err = c.Estimate(exactScanSource(s.Source), all)
-		if err != nil {
-			return nil, err
-		}
-	}
-	vals := c.FinalValues(total)
-	labels := make(map[string]string, len(vals))
-	for g := range vals { //lint:mapiter-ok independent per-key map-to-map transform; order-free
-		labels[g] = c.GroupLabel(g)
-	}
-	return &Result{
-		Values:    vals,
-		Labels:    labels,
-		PartsRead: s.Source.NumParts(),
-		FracRead:  1,
-	}, nil
+	return s.RunExactCtx(context.Background(), q)
 }
 
 // uncachedReader is the optional capability a paged source offers for

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,20 +57,36 @@ func ForEach(n int, o Options, fn func(i int)) {
 // fn owns w exclusively for the worker's lifetime and never needs to lock
 // it; newW and fn must be safe for concurrent invocation across workers.
 func ForEachWith[W any](n int, o Options, newW func() W, fn func(w W, i int)) {
+	forEachCtx(nil, n, o, newW, fn)
+}
+
+// forEachCtx is the one worker-pool implementation behind ForEachWith and
+// ForEachWithCtx. A nil ctx disables cancellation entirely (the check
+// degenerates to a nil compare, so the context-free entry points pay
+// nothing). With a non-nil ctx, workers poll ctx.Err() after claiming an
+// index and before running it: an item that started always completes (the
+// scan kernels hold no interior cancellation points), and the pool stops
+// claiming new items once the context is done. Returns ctx.Err() when at
+// least one claimed item was skipped, nil when every index ran.
+func forEachCtx[W any](ctx context.Context, n int, o Options, newW func() W, fn func(w W, i int)) error {
 	workers := o.Workers(n)
 	if workers == 1 {
 		st := newW()
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(st, i)
 		}
-		return
+		return nil
 	}
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Bool
-		once     sync.Once
-		pval     any
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicked  atomic.Bool
+		cancelled atomic.Bool
+		once      sync.Once
+		pval      any
 	)
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
@@ -87,6 +104,12 @@ func ForEachWith[W any](n int, o Options, newW func() W, fn func(w W, i int)) {
 				if i >= n || panicked.Load() {
 					return
 				}
+				if ctx != nil && ctx.Err() != nil {
+					// Claimed but not run: the caller must learn the scan
+					// is incomplete.
+					cancelled.Store(true)
+					return
+				}
 				fn(st, i)
 			}
 		}()
@@ -95,6 +118,10 @@ func ForEachWith[W any](n int, o Options, newW func() W, fn func(w W, i int)) {
 	if panicked.Load() {
 		panic(pval)
 	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Map computes fn(i) for every i in [0, n) in parallel and returns the

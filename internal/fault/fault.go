@@ -1,0 +1,95 @@
+// Package fault is the injectable filesystem seam under PS3's persistence
+// layers. Everything internal/store and internal/ingest do to disk — open,
+// create, read, write, fsync, rename, remove, truncate, directory scans —
+// goes through the FS interface, which has exactly two implementations:
+//
+//   - OS, the passthrough over the os package. This is the default
+//     everywhere, adds one interface dispatch per call (the readers already
+//     held their files behind io.ReaderAt), and is what production runs.
+//   - Injector, a deterministic seeded fault injector wrapping another FS.
+//     Chaos tests use it to script disk failures — fail the Nth matching
+//     op, fail with probability p, tear a write, corrupt the bytes a read
+//     returns, add latency — and then assert the system degrades instead of
+//     lying: no acknowledged row lost, no silently wrong answer.
+//
+// The seam exists because the robustness contracts of the WAL, the flush
+// protocol and the block-CRC quarantine path are unfalsifiable without a
+// way to make the disk misbehave on demand. Injection is a test-only
+// concern, but the seam is production code: the passthrough must stay thin.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the per-handle surface the store and ingest layers use. *os.File
+// implements it directly; the injector wraps one.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Stat returns the file's metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem seam: the operations PS3's persistence layers
+// perform, and nothing more. Implementations must be safe for concurrent
+// use.
+type FS interface {
+	// Open opens the named file (or directory — syncDir opens and fsyncs
+	// directories) for reading.
+	Open(name string) (File, error)
+	// Create truncates or creates the named file for writing.
+	Create(name string) (File, error)
+	// OpenFile is the generalized open (the WAL appends with
+	// O_CREATE|O_WRONLY|O_APPEND).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically moves oldpath to newpath (the segment-flush commit
+	// point).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate resizes the named file (WAL torn-tail truncation).
+	Truncate(name string, size int64) error
+	// Stat returns metadata for the named file.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir lists a directory (ingest recovery's inventory scan).
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm os.FileMode) error
+}
+
+// OS is the passthrough FS over the real filesystem — the production
+// default.
+var OS FS = osFS{}
+
+// osFS delegates every call to the os package.
+type osFS struct{}
+
+// file lifts an (*os.File, error) pair into the File interface without
+// wrapping a nil pointer in a non-nil interface on error.
+func file(f *os.File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error)   { return file(os.Open(name)) }
+func (osFS) Create(name string) (File, error) { return file(os.Create(name)) }
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return file(os.OpenFile(name, flag, perm))
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}

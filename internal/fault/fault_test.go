@@ -1,0 +1,309 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough exercises the full FS surface against the real
+// filesystem: the passthrough must behave exactly like the os package.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.bin")
+
+	f, err := OS.Create(name)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("hello, fault seam")
+	if n, err := f.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(payload))
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g, err := OS.Open(name)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = %q, want %q", got, payload)
+	}
+	if fi, err := g.Stat(); err != nil || fi.Size() != int64(len(payload)) {
+		t.Fatalf("Stat = (%v, %v), want size %d", fi, err, len(payload))
+	}
+	g.Close()
+
+	if err := OS.Truncate(name, 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if fi, err := OS.Stat(name); err != nil || fi.Size() != 5 {
+		t.Fatalf("Stat after truncate = (%v, %v), want size 5", fi, err)
+	}
+	name2 := filepath.Join(dir, "b.bin")
+	if err := OS.Rename(name, name2); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.bin" {
+		t.Fatalf("ReadDir = (%v, %v), want [b.bin]", ents, err)
+	}
+	if err := OS.MkdirAll(filepath.Join(dir, "x/y"), 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if err := OS.Remove(name2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := OS.Open(name2); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Open removed file: err = %v, want ErrNotExist", err)
+	}
+}
+
+// TestOSCreateErrorReturnsNilInterface guards the typed-nil trap: an
+// *os.File nil pointer must not leak into a non-nil File interface.
+func TestOSCreateErrorReturnsNilInterface(t *testing.T) {
+	f, err := OS.Create(filepath.Join(t.TempDir(), "no/such/dir/f"))
+	if err == nil {
+		t.Fatal("Create in missing dir succeeded")
+	}
+	if f != nil {
+		t.Fatalf("Create error returned non-nil File %#v", f)
+	}
+}
+
+// TestFailAtNth: the rule fires on exactly the Nth matching op, and every
+// matching op from then on.
+func TestFailAtNth(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "w.bin")
+	inj := NewInjector(OS, 1, &Rule{Op: OpWrite, FailAt: 3})
+
+	f, err := inj.Create(name)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	for i := 1; i <= 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3: err = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("still")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 4: err = %v, want ErrInjected (FailAt is sticky)", err)
+	}
+	if ops, fired := inj.Stats(); fired != 2 {
+		t.Fatalf("Stats = (%d ops, %d fired), want 2 fired", ops, fired)
+	}
+}
+
+// TestMaxFiresWindow: FailAt + MaxFires fires on ops [N, N+MaxFires) only.
+func TestMaxFiresWindow(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, &Rule{Op: OpSync, FailAt: 2, MaxFires: 1})
+	f, err := inj.Create(filepath.Join(dir, "s.bin"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: err = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 (rule exhausted): %v", err)
+	}
+}
+
+// TestTornWrite: a torn write persists a strict prefix of the buffer and
+// still reports the injected error.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "torn.bin")
+	inj := NewInjector(OS, 1, &Rule{Op: OpWrite, FailAt: 1, Torn: true})
+
+	f, err := inj.Create(name)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: err = %v, want ErrInjected", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("torn write persisted %d bytes, want a strict prefix", n)
+	}
+	f.Close()
+
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("on disk %q, want prefix %q", got, payload[:n])
+	}
+}
+
+// TestCorruptRead: a Corrupt rule lets the read succeed but damages
+// exactly one bit; the file itself is untouched and a clean re-read
+// returns the original bytes.
+func TestCorruptRead(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "c.bin")
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	if err := os.WriteFile(name, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS, 7, &Rule{Op: OpRead, FailAt: 1, MaxFires: 1})
+	inj.ClearRules()
+	inj.AddRule(&Rule{Op: OpRead, FailAt: 1, MaxFires: 1, Corrupt: true})
+
+	f, err := inj.Open(name)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("corrupt ReadAt returned error %v, want silent corruption", err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff += popcount(got[i] ^ payload[i])
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diff)
+	}
+
+	// Rule exhausted: the next read is clean.
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("second ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("second ReadAt still corrupted after MaxFires exhausted")
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// TestProbDeterminism: the same seed and operation sequence produce the
+// same fault sequence.
+func TestProbDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		inj := NewInjector(OS, seed, &Rule{Op: OpWrite, Prob: 0.5})
+		f, err := inj.Create(filepath.Join(dir, "p.bin"))
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		defer f.Close()
+		outcomes := make([]bool, 40)
+		for i := range outcomes {
+			_, err := f.Write([]byte{byte(i)})
+			outcomes[i] = errors.Is(err, ErrInjected)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: seed-42 runs disagree (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	anyFired, anyClean := false, false
+	for _, v := range a {
+		if v {
+			anyFired = true
+		} else {
+			anyClean = true
+		}
+	}
+	if !anyFired || !anyClean {
+		t.Fatalf("p=0.5 over 40 ops produced fired=%v clean=%v, want both", anyFired, anyClean)
+	}
+}
+
+// TestPathFilter: rules scoped by path substring leave other files alone.
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, &Rule{Op: OpCreate, Path: "wal", FailAt: 1})
+	if _, err := inj.Create(filepath.Join(dir, "seg-000001.ps3")); err != nil {
+		t.Fatalf("unrelated create failed: %v", err)
+	}
+	if _, err := inj.Create(filepath.Join(dir, "wal-000002.log")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wal create: err = %v, want ErrInjected", err)
+	}
+}
+
+// TestCustomErrAndDelay: a rule's Err is wrapped (both ErrInjected and the
+// custom error match) and Delay actually stalls the op.
+func TestCustomErrAndDelay(t *testing.T) {
+	dir := t.TempDir()
+	errDisk := errors.New("disk on fire")
+	inj := NewInjector(OS, 1,
+		&Rule{Op: OpRename, FailAt: 1, Err: errDisk, Delay: 20 * time.Millisecond})
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := inj.Rename(src, filepath.Join(dir, "b"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, errDisk) {
+		t.Fatalf("err = %v, want both ErrInjected and errDisk", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("rename returned after %v, want >= ~20ms delay", d)
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("failed rename must leave source intact: %v", err)
+	}
+}
+
+// TestSequentialReadThroughInjector: plain Read (not ReadAt) flows through
+// the schedule too — ingest WAL replay uses sequential reads.
+func TestSequentialReadThroughInjector(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "r.bin")
+	if err := os.WriteFile(name, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS, 1, &Rule{Op: OpRead, FailAt: 2})
+	f, err := inj.Open(name)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 3)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := f.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: err = %v, want ErrInjected", err)
+	}
+}

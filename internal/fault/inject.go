@@ -1,0 +1,348 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel every injector-made error wraps. Tests match
+// it with errors.Is to tell scripted faults apart from real IO problems.
+var ErrInjected = errors.New("fault: injected error")
+
+// Op names a filesystem operation a Rule can match.
+type Op int
+
+const (
+	OpAny Op = iota // matches every operation
+	OpOpen
+	OpCreate
+	OpRead  // File.Read, File.ReadAt
+	OpWrite // File.Write
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpStat
+	OpReadDir
+	OpMkdir
+)
+
+var opNames = [...]string{"any", "open", "create", "read", "write", "sync",
+	"rename", "remove", "truncate", "stat", "readdir", "mkdir"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Rule describes one scripted fault. A rule fires when an operation matches
+// Op and Path and its trigger (FailAt or Prob) says so; what firing does is
+// governed by Err/Torn/Corrupt/Delay. Zero-valued fields are permissive:
+// zero Op matches everything, empty Path matches every file, zero MaxFires
+// means unlimited.
+type Rule struct {
+	// Op restricts the rule to one operation kind (OpAny matches all).
+	Op Op
+	// Path, when non-empty, must be a substring of the operation's file
+	// path. Ops without a path (none currently) never match a non-empty
+	// Path.
+	Path string
+	// FailAt, when > 0, fires the rule on exactly the Nth matching
+	// operation (1-based) and not before. Combines with MaxFires to fire
+	// on a range starting at the Nth.
+	FailAt int64
+	// Prob, when > 0, fires the rule on each matching operation with this
+	// probability, drawn from the injector's seeded RNG. Ignored when
+	// FailAt is set.
+	Prob float64
+	// MaxFires, when > 0, caps how many times the rule fires; afterwards
+	// it goes inert.
+	MaxFires int64
+	// Err is the error returned when the rule fires (wrapped so that
+	// errors.Is(err, ErrInjected) holds). Nil defaults to a generic
+	// injected error. Ignored by Corrupt rules, which let the operation
+	// succeed with damaged data.
+	Err error
+	// Torn, on a Write, writes only a prefix (roughly half) of the buffer
+	// before returning the error — a torn write, as after a crash
+	// mid-append.
+	Torn bool
+	// Corrupt, on a Read/ReadAt, lets the call succeed but flips one bit
+	// in the returned buffer — silent media corruption, which the store's
+	// block CRCs must catch.
+	Corrupt bool
+	// Delay, when > 0, sleeps before performing the operation (whether or
+	// not an error fires). Models slow devices for deadline tests.
+	Delay time.Duration
+
+	matched int64 // operations that matched Op+Path (guarded by Injector.mu)
+	fired   int64 // times the rule actually fired
+}
+
+// verdict is what the rule engine decided for one operation.
+type verdict struct {
+	delay   time.Duration
+	err     error // non-nil: fail the op with this error
+	torn    bool  // write a prefix first, then return err
+	corrupt bool  // succeed but flip a bit in the read buffer
+}
+
+// Injector is an FS that applies a scripted fault schedule on top of an
+// inner FS. Matching and RNG draws happen under a mutex so a fixed seed
+// plus a fixed operation sequence yields a fixed fault sequence.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*Rule
+	ops   int64 // total operations seen
+	fired int64 // total faults fired (errors + corruptions)
+}
+
+// NewInjector wraps inner with a deterministic fault schedule. The seed
+// drives probabilistic rules; rules are evaluated in order and the first
+// one that fires wins (delays accumulate across all matching rules).
+func NewInjector(inner FS, seed int64, rules ...*Rule) *Injector {
+	return &Injector{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: rules,
+	}
+}
+
+// AddRule appends a rule to a live injector (chaos tests escalate
+// schedules mid-run).
+func (in *Injector) AddRule(r *Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, r)
+}
+
+// ClearRules drops every rule, turning the injector into a passthrough.
+// Counters are kept.
+func (in *Injector) ClearRules() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Stats reports how many operations the injector has seen and how many
+// faults it fired.
+func (in *Injector) Stats() (ops, fired int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops, in.fired
+}
+
+// decide evaluates the schedule for one operation. The sleep (if any)
+// happens in the caller, outside the lock.
+func (in *Injector) decide(op Op, path string) verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	var v verdict
+	for _, r := range in.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.matched++
+		v.delay += r.Delay
+		if v.err != nil || v.corrupt {
+			continue // a fault already fired; later rules only add delay
+		}
+		if r.MaxFires > 0 && r.fired >= r.MaxFires {
+			continue
+		}
+		fire := false
+		switch {
+		case r.FailAt > 0:
+			fire = r.matched >= r.FailAt
+		case r.Prob > 0:
+			fire = in.rng.Float64() < r.Prob
+		}
+		if !fire {
+			continue
+		}
+		r.fired++
+		in.fired++
+		if r.Corrupt {
+			v.corrupt = true
+			continue
+		}
+		v.torn = r.Torn
+		if r.Err != nil {
+			v.err = fmt.Errorf("%s %s: %w: %w", op, path, ErrInjected, r.Err)
+		} else {
+			v.err = fmt.Errorf("%s %s: %w", op, path, ErrInjected)
+		}
+	}
+	return v
+}
+
+// apply runs the verdict's delay and returns its error (nil when the op
+// should proceed).
+func (v verdict) apply() error {
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	return v.err
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.decide(OpOpen, name).apply(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	if err := in.decide(OpCreate, name).apply(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := in.decide(OpOpen, name).apply(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.decide(OpRename, newpath).apply(); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.decide(OpRemove, name).apply(); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.decide(OpTruncate, name).apply(); err != nil {
+		return err
+	}
+	return in.inner.Truncate(name, size)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if err := in.decide(OpStat, name).apply(); err != nil {
+		return nil, err
+	}
+	return in.inner.Stat(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := in.decide(OpReadDir, name).apply(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) MkdirAll(name string, perm os.FileMode) error {
+	if err := in.decide(OpMkdir, name).apply(); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(name, perm)
+}
+
+// injFile applies the schedule to per-handle operations.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (g *injFile) Read(p []byte) (int, error) {
+	v := g.in.decide(OpRead, g.name)
+	if err := v.apply(); err != nil {
+		return 0, err
+	}
+	n, err := g.f.Read(p)
+	if v.corrupt && n > 0 {
+		corruptByte(g.in, p[:n])
+	}
+	return n, err
+}
+
+func (g *injFile) ReadAt(p []byte, off int64) (int, error) {
+	v := g.in.decide(OpRead, g.name)
+	if err := v.apply(); err != nil {
+		return 0, err
+	}
+	n, err := g.f.ReadAt(p, off)
+	if v.corrupt && n > 0 {
+		corruptByte(g.in, p[:n])
+	}
+	return n, err
+}
+
+func (g *injFile) Write(p []byte) (int, error) {
+	v := g.in.decide(OpWrite, g.name)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		if v.torn && len(p) > 1 {
+			n, werr := g.f.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, v.err
+		}
+		return 0, v.err
+	}
+	return g.f.Write(p)
+}
+
+func (g *injFile) Seek(offset int64, whence int) (int64, error) {
+	return g.f.Seek(offset, whence)
+}
+
+func (g *injFile) Sync() error {
+	if err := g.in.decide(OpSync, g.name).apply(); err != nil {
+		return err
+	}
+	return g.f.Sync()
+}
+
+func (g *injFile) Stat() (os.FileInfo, error) { return g.f.Stat() }
+func (g *injFile) Close() error               { return g.f.Close() }
+
+// corruptByte flips one pseudo-randomly chosen bit in buf, drawing the
+// position from the injector's seeded RNG so corruption is reproducible.
+func corruptByte(in *Injector, buf []byte) {
+	in.mu.Lock()
+	i := in.rng.Intn(len(buf))
+	bit := uint(in.rng.Intn(8))
+	in.mu.Unlock()
+	buf[i] ^= 1 << bit
+}

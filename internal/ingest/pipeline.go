@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ps3/internal/core"
+	"ps3/internal/fault"
 	"ps3/internal/stats"
 	"ps3/internal/store"
 	"ps3/internal/table"
@@ -48,6 +49,10 @@ type Config struct {
 	// version — typically serve.(*Server).Swap behind an adapter. Called
 	// outside the pipeline's state lock, in flush order.
 	OnPublish func(sys *core.System, version int)
+	// FS is the filesystem seam every pipeline disk operation goes through
+	// (WAL, segment temporaries, renames, directory fsyncs, recovery scans).
+	// nil means fault.OS; chaos tests pass an *fault.Injector.
+	FS fault.FS
 }
 
 // PipelineStats is a point-in-time counter snapshot.
@@ -148,7 +153,10 @@ func Open(cfg Config, base *core.System) (*Pipeline, error) {
 	if cfg.RowsPerPart <= 0 {
 		cfg.RowsPerPart = 1024
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if cfg.FS == nil {
+		cfg.FS = fault.OS
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	p := &Pipeline{
@@ -158,7 +166,7 @@ func Open(cfg Config, base *core.System) (*Pipeline, error) {
 		baseParts: base.Source.NumParts(),
 	}
 
-	segIdx, walIdx, err := scanDir(cfg.Dir)
+	segIdx, walIdx, err := scanDir(cfg.FS, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +183,7 @@ func Open(cfg Config, base *core.System) (*Pipeline, error) {
 	// rows are in flushed segments or were re-logged into wal-K).
 	for _, idx := range walIdx {
 		if idx != k {
-			if err := os.Remove(filepath.Join(cfg.Dir, walName(idx))); err != nil {
+			if err := cfg.FS.Remove(filepath.Join(cfg.Dir, walName(idx))); err != nil {
 				return nil, fmt.Errorf("ingest: remove stale wal %d: %w", idx, err)
 			}
 		}
@@ -189,7 +197,7 @@ func Open(cfg Config, base *core.System) (*Pipeline, error) {
 	vals := baseDict.Values()
 	ts := base.Stats
 	for _, idx := range segIdx {
-		r, err := store.Open(filepath.Join(cfg.Dir, segmentName(idx)), store.Options{CacheBytes: cfg.CacheBytes})
+		r, err := store.OpenFS(cfg.FS, filepath.Join(cfg.Dir, segmentName(idx)), store.Options{CacheBytes: cfg.CacheBytes})
 		if err != nil {
 			p.closeSegs()
 			return nil, fmt.Errorf("ingest: open segment %d: %w", idx, err)
@@ -246,7 +254,7 @@ func Open(cfg Config, base *core.System) (*Pipeline, error) {
 		p.closeSegs()
 		return nil, err
 	}
-	w, err := OpenWAL(walPath, cfg.CommitWindow)
+	w, err := OpenWALFS(cfg.FS, walPath, cfg.CommitWindow)
 	if err != nil {
 		p.closeSegs()
 		return nil, err
@@ -268,15 +276,15 @@ func Open(cfg Config, base *core.System) (*Pipeline, error) {
 
 // scanDir inventories the ingest directory: sorted segment indexes, sorted
 // WAL indexes, temporaries deleted.
-func scanDir(dir string) (segIdx, walIdx []int, err error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fsys fault.FS, dir string) (segIdx, walIdx []int, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, e := range entries {
 		name := e.Name()
 		if filepath.Ext(name) == ".tmp" {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 				return nil, nil, fmt.Errorf("ingest: remove temporary %s: %w", name, err)
 			}
 			continue
@@ -297,7 +305,7 @@ func scanDir(dir string) (segIdx, walIdx []int, err error) {
 // replay restores the memtable from the live WAL, truncating the file at
 // the first torn record so the log on disk matches what was replayed.
 func (p *Pipeline) replay(path string) error {
-	f, err := os.Open(path)
+	f, err := p.cfg.FS.Open(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -311,8 +319,8 @@ func (p *Pipeline) replay(path string) error {
 	if err != nil {
 		return fmt.Errorf("ingest: replay %s: %w", path, err)
 	}
-	if st, err := os.Stat(path); err == nil && st.Size() > clean {
-		if err := os.Truncate(path, clean); err != nil {
+	if st, err := p.cfg.FS.Stat(path); err == nil && st.Size() > clean {
+		if err := p.cfg.FS.Truncate(path, clean); err != nil {
 			return fmt.Errorf("ingest: truncate torn wal tail: %w", err)
 		}
 	}
@@ -511,7 +519,7 @@ func (p *Pipeline) flush(partial bool) error {
 	}
 	old := len(baseStats.Parts)
 	hints := store.HintsFromStats(extended)
-	tmp, err := writeSegmentTemp(p.cfg.Dir, segIdx, p.schema, dictSnap, sealed, func(part, col int) (store.ColHint, bool) {
+	tmp, err := writeSegmentTemp(p.cfg.FS, p.cfg.Dir, segIdx, p.schema, dictSnap, sealed, func(part, col int) (store.ColHint, bool) {
 		return hints(old+part, col)
 	})
 	if err != nil {
@@ -527,7 +535,7 @@ func (p *Pipeline) flush(partial bool) error {
 	if err := oldWAL.Close(); err != nil {
 		return p.poisonLocked(fmt.Errorf("ingest: close wal %d: %w", p.walIdx, err))
 	}
-	newWAL, err := OpenWAL(filepath.Join(p.cfg.Dir, walName(segIdx+1)), p.cfg.CommitWindow)
+	newWAL, err := OpenWALFS(p.cfg.FS, filepath.Join(p.cfg.Dir, walName(segIdx+1)), p.cfg.CommitWindow)
 	if err != nil {
 		return p.poisonLocked(err)
 	}
@@ -544,20 +552,20 @@ func (p *Pipeline) flush(partial bool) error {
 			return p.poisonLocked(fmt.Errorf("ingest: re-log %d rows: %w", len(rn), err))
 		}
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := p.cfg.FS.Rename(tmp, final); err != nil {
 		newWAL.Close()
 		return p.poisonLocked(err)
 	}
-	if err := syncDir(p.cfg.Dir); err != nil {
+	if err := syncDir(p.cfg.FS, p.cfg.Dir); err != nil {
 		newWAL.Close()
 		return p.poisonLocked(err)
 	}
-	reader, err := store.Open(final, store.Options{CacheBytes: p.cfg.CacheBytes})
+	reader, err := store.OpenFS(p.cfg.FS, final, store.Options{CacheBytes: p.cfg.CacheBytes})
 	if err != nil {
 		newWAL.Close()
 		return p.poisonLocked(fmt.Errorf("ingest: reopen segment %d: %w", segIdx, err))
 	}
-	if err := os.Remove(filepath.Join(p.cfg.Dir, walName(p.walIdx))); err != nil {
+	if err := p.cfg.FS.Remove(filepath.Join(p.cfg.Dir, walName(p.walIdx))); err != nil {
 		newWAL.Close()
 		reader.Close()
 		return p.poisonLocked(err)
@@ -581,6 +589,28 @@ func (p *Pipeline) flush(partial bool) error {
 
 	if sys != nil {
 		p.cfg.OnPublish(sys, version)
+	}
+	return nil
+}
+
+// Err reports the pipeline's sticky poison error: non-nil once a failed
+// flush, WAL I/O error or diverged state has made further writes unsafe.
+// A poisoned pipeline rejects appends and flushes but leaves every already
+// published snapshot serving; serve's read-only mode is driven off this
+// (see serve.AppendHealth).
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ingErr != nil {
+		return p.ingErr
+	}
+	// A WAL whose commit loop hit an I/O error poisons appends before the
+	// pipeline notices: surface it here so read-only mode flips as soon as
+	// durability is gone, not on the next append attempt.
+	if p.wal != nil {
+		if err := p.wal.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,9 +2,9 @@ package ingest
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
+	"ps3/internal/fault"
 	"ps3/internal/store"
 	"ps3/internal/table"
 )
@@ -19,8 +19,8 @@ func walName(i int) string     { return fmt.Sprintf("wal-%06d.log", i) }
 
 // syncDir fsyncs a directory so a just-created, renamed or removed entry
 // survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -36,10 +36,10 @@ func syncDir(dir string) error {
 // under the pipeline lock (and fsyncs the directory) once the flush is
 // ready to commit; stray .tmp files found at recovery are deleted. hints
 // carries per-column encoding hints indexed by position within parts.
-func writeSegmentTemp(dir string, idx int, schema *table.Schema, dict *table.Dict, parts []*table.Partition, hints func(part, col int) (store.ColHint, bool)) (string, error) {
+func writeSegmentTemp(fsys fault.FS, dir string, idx int, schema *table.Schema, dict *table.Dict, parts []*table.Partition, hints func(part, col int) (store.ColHint, bool)) (string, error) {
 	final := filepath.Join(dir, segmentName(idx))
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return "", err
 	}
@@ -52,7 +52,7 @@ func writeSegmentTemp(dir string, idx int, schema *table.Schema, dict *table.Dic
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", fmt.Errorf("ingest: write segment %d: %w", idx, err)
 	}
 	return tmp, nil

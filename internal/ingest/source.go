@@ -1,9 +1,11 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"ps3/internal/store"
 	"ps3/internal/table"
 )
 
@@ -53,7 +55,16 @@ func (m *multiSource) Read(i int) (*table.Partition, error) {
 	}
 	// First sub-source starting after i, minus one: the owner.
 	j := sort.Search(len(m.starts), func(k int) bool { return m.starts[k] > i }) - 1
-	return m.subs[j].Read(i - m.starts[j])
+	q, err := m.subs[j].Read(i - m.starts[j])
+	if err != nil {
+		// A segment's quarantine error names its local partition id; callers
+		// (core's degradation loop) drop by global id, so renumber.
+		var qe *store.QuarantineError
+		if errors.As(err, &qe) && qe.Part != i {
+			return nil, &store.QuarantineError{Part: i, Err: err}
+		}
+	}
+	return q, err
 }
 
 func (m *multiSource) ResetIO() {
@@ -69,4 +80,26 @@ func (m *multiSource) IOStats() (parts int64, bytes int64) {
 		bytes += b
 	}
 	return parts, bytes
+}
+
+// Health aggregates quarantine state across sub-sources, renumbering each
+// sub-source's local partition ids into the concatenation's global index
+// space (core's degradation loop drops by global id). Sub-sources without
+// health reporting — resident tables, the base when memory-backed — are
+// trivially healthy.
+func (m *multiSource) Health() store.HealthStats {
+	var agg store.HealthStats
+	for j, s := range m.subs {
+		h, ok := s.(interface{ Health() store.HealthStats })
+		if !ok {
+			continue
+		}
+		hs := h.Health()
+		agg.CorruptRetries += hs.CorruptRetries
+		for _, p := range hs.QuarantinedParts {
+			agg.QuarantinedParts = append(agg.QuarantinedParts, m.starts[j]+p)
+		}
+	}
+	sort.Ints(agg.QuarantinedParts)
+	return agg
 }

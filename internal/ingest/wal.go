@@ -39,6 +39,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"ps3/internal/fault"
 )
 
 // WAL frame layout: [length u32 LE][crc u32 LE][payload], where crc is
@@ -114,7 +116,7 @@ func ReadWAL(r io.Reader) (records [][]byte, clean int64, err error) {
 type WAL struct {
 	path   string
 	window time.Duration
-	f      *os.File
+	f      fault.File
 
 	// mu guards the pending group and the sequence counters; cond wakes
 	// durability waiters after each group commit.
@@ -140,11 +142,17 @@ type WAL struct {
 // window <= 0 commits synchronously on every WaitDurable. The parent
 // directory is fsynced so a freshly created log survives a crash.
 func OpenWAL(path string, window time.Duration) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenWALFS(fault.OS, path, window)
+}
+
+// OpenWALFS is OpenWAL with the filesystem seam explicit; fault-injection
+// tests pass an *fault.Injector to script fsync and write failures.
+func OpenWALFS(fsys fault.FS, path string, window time.Duration) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := syncDir(fsys, filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("ingest: wal %s: %w", path, err)
 	}
@@ -210,6 +218,15 @@ func (w *WAL) Append(payload []byte) error {
 		return err
 	}
 	return w.WaitDurable(seq)
+}
+
+// Err reports the log's sticky I/O error, if any. A failed write or fsync
+// poisons the log permanently: acknowledged records stay durable, but no
+// further record will be.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Sync forces any pending group to disk now.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -592,7 +593,15 @@ func (c *Compiled) Selectivity(t *table.Table) float64 {
 // read can fail (disk error, corrupted block); the error reported matches
 // what a sequential loop would have hit first.
 func (c *Compiled) Estimate(src table.PartitionSource, sel []WeightedPartition) (*Answer, error) {
-	parts, err := exec.MapErrWith(len(sel), c.Exec,
+	return c.EstimateCtx(context.Background(), src, sel)
+}
+
+// EstimateCtx is Estimate under a context: the scan pool stops claiming
+// partitions once ctx is done and returns ctx.Err(), so a request deadline
+// bounds scan work at partition granularity. On the nil-error path the
+// answer is bit-identical to Estimate.
+func (c *Compiled) EstimateCtx(ctx context.Context, src table.PartitionSource, sel []WeightedPartition) (*Answer, error) {
+	parts, err := exec.MapErrWithCtx(ctx, len(sel), c.Exec,
 		func() *scratch { return &scratch{} },
 		func(sc *scratch, i int) (*Answer, error) {
 			p, err := src.Read(sel[i].Part)

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -13,12 +15,19 @@ import (
 //	POST /query    {"sql": "...", "budget": 0.05}  → Response
 //	POST /append   {"rows": [[cell, ...], ...]}    → appendResponse
 //	GET  /stats    → Metrics
-//	GET  /healthz  → 200 "ok"
+//	GET  /healthz  → 200 "ok" (liveness: the process answers)
+//	GET  /readyz   → readyResponse (readiness: route traffic here or not)
 //
 // An append row lists one cell per schema column in schema order: a JSON
 // number (or null, decoded as NaN — JSON has no NaN literal) for numeric
 // columns, a string for categorical ones. The call returns after the rows
-// are durably logged; 409 on a read-only server.
+// are durably logged; 409 on a server with no write path.
+//
+// Failure-mode status codes (see DESIGN.md "Failure model & degraded
+// modes"): 503 + Retry-After when shed (queue full), draining, or the
+// write path is read-only (poisoned ingest); 504 when the request missed
+// its deadline. A response with "degraded": true is a 200 — the answer is
+// honest about covering less data, and the client decides.
 
 // queryRequest is the POST /query body.
 type queryRequest struct {
@@ -44,6 +53,17 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// readyResponse is the GET /readyz body: whether a load balancer should
+// route traffic here, and the degraded-mode flags behind that verdict.
+type readyResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
+	// ReadOnly + ReadOnlyReason report a poisoned write path. The server
+	// stays ready — queries serve fine — but writers should go elsewhere.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
+}
+
 // Handler returns the HTTP API over the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -54,7 +74,35 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := readyResponse{Draining: s.Draining()}
+	resp.ReadOnly, resp.ReadOnlyReason = s.ReadOnly()
+	resp.Ready = !resp.Draining
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeQueryError maps a serving error to its transport shape: shed and
+// draining answers are 503 with a Retry-After hint (retry is the right
+// client move — elsewhere or later), deadline misses are 504, everything
+// else is the generic 422.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShed) || errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -71,9 +119,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "budget must be in (0, 1]"})
 		return
 	}
-	resp, err := s.QuerySQL(req.SQL, req.Budget)
+	resp, err := s.QuerySQLCtx(r.Context(), req.SQL, req.Budget)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -128,6 +176,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		cat[i] = cr
 	}
 	if err := s.Append(num, cat); err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			// The pipeline is poisoned: this won't clear until an operator
+			// intervenes, so hint a long retry.
+			w.Header().Set("Retry-After", "30")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
 	}

@@ -34,6 +34,8 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -46,6 +48,24 @@ import (
 	"ps3/internal/query"
 	"ps3/internal/sql"
 	"ps3/internal/store"
+)
+
+// Typed serving errors. The HTTP layer maps them to status codes; embedded
+// callers match them with errors.Is.
+var (
+	// ErrShed reports load shedding: the in-flight bound and the admission
+	// queue are both full, so the request was rejected immediately rather
+	// than queued behind work the server cannot keep up with. Clients
+	// should back off and retry (HTTP: 503 + Retry-After).
+	ErrShed = errors.New("serve: overloaded, request shed")
+	// ErrDraining reports that the server is shutting down and no longer
+	// admits queries; in-flight requests are completing. Clients should
+	// retry against another replica.
+	ErrDraining = errors.New("serve: draining, not admitting requests")
+	// ErrReadOnly reports that the write path is disabled because the
+	// ingest pipeline is poisoned (a WAL or flush failure made further
+	// durable appends impossible). Queries keep serving.
+	ErrReadOnly = errors.New("serve: ingest degraded, server is read-only")
 )
 
 // Config tunes the server; zero values take the defaults noted per field.
@@ -61,6 +81,18 @@ type Config struct {
 	// MaxInFlight bounds concurrently executing partition scans; further
 	// requests queue (default 2 × GOMAXPROCS).
 	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond it the
+	// server sheds (typed ErrShed, HTTP 503 + Retry-After) instead of
+	// building an unbounded backlog whose requests would all miss their
+	// deadlines anyway. Default 4 × MaxInFlight; negative means unbounded
+	// (the pre-shedding behavior).
+	MaxQueue int
+	// RequestTimeout is the per-request serving deadline applied inside
+	// QueryCtx on top of whatever deadline the caller's context carries
+	// (the earlier one wins). Zero means no server-imposed deadline.
+	// Cancellation is observed while queued for admission and between
+	// partitions during the scan.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
 	}
 	return c
 }
@@ -116,12 +151,21 @@ type Server struct {
 	// sem bounds in-flight scans.
 	sem chan struct{}
 
+	// draining, once set, makes every new query shed with ErrDraining;
+	// in-flight and queued requests complete. Set by StartDrain during
+	// graceful shutdown, never cleared.
+	draining atomic.Bool
+
 	requests    atomic.Int64
 	failures    atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	partsRead   atomic.Int64
 	inFlight    atomic.Int64
+	queued      atomic.Int64
+	sheds       atomic.Int64
+	deadlines   atomic.Int64
+	degraded    atomic.Int64
 	latencyNs   atomic.Int64
 	maxLatency  atomic.Int64
 	pickNs      atomic.Int64
@@ -176,6 +220,15 @@ type RowAppender interface {
 	AppendRows(num [][]float64, cat [][]string) error
 }
 
+// AppendHealth is the optional capability an appender offers for reporting
+// a sticky failure (ingest's pipeline: a poisoned WAL or failed flush).
+// When Err is non-nil the server flips the write path to read-only —
+// /append answers 503 while queries keep serving — instead of letting
+// every append fail with a raw I/O error.
+type AppendHealth interface {
+	Err() error
+}
+
 // SetAppender installs (or, with nil, removes) the live append sink behind
 // POST /append.
 func (s *Server) SetAppender(a RowAppender) {
@@ -222,22 +275,78 @@ func (s *Server) Swap(sys *core.System) error {
 }
 
 // Append ingests a batch of rows through the installed appender, counting
-// it in the server's metrics. Read-only servers return an error.
+// it in the server's metrics. Read-only servers return an error; a
+// poisoned pipeline returns ErrReadOnly (wrapped with the root cause) so
+// the transport can answer 503 instead of a generic failure.
 func (s *Server) Append(num [][]float64, cat [][]string) error {
 	a := s.Appender()
 	if a == nil {
 		s.appendFailures.Add(1)
 		return fmt.Errorf("serve: server is read-only; no append sink installed")
 	}
+	if h, ok := a.(AppendHealth); ok {
+		if herr := h.Err(); herr != nil {
+			s.appendFailures.Add(1)
+			return fmt.Errorf("%w: %w", ErrReadOnly, herr)
+		}
+	}
 	start := time.Now()
 	s.appends.Add(1)
 	if err := a.AppendRows(num, cat); err != nil {
 		s.appendFailures.Add(1)
+		// The failure may have poisoned the pipeline between our health
+		// probe and the write; report it as the read-only flip if so.
+		if h, ok := a.(AppendHealth); ok && h.Err() != nil {
+			return fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
 		return err
 	}
 	s.appendedRows.Add(int64(len(num)))
 	s.appendNs.Add(int64(time.Since(start)))
 	return nil
+}
+
+// ReadOnly reports whether the write path is degraded to read-only (a
+// poisoned ingest pipeline) and why. Servers with no appender at all are
+// not "read-only" in this sense — they never had a write path.
+func (s *Server) ReadOnly() (bool, string) {
+	a := s.Appender()
+	if a == nil {
+		return false, ""
+	}
+	if h, ok := a.(AppendHealth); ok {
+		if err := h.Err(); err != nil {
+			return true, err.Error()
+		}
+	}
+	return false, ""
+}
+
+// StartDrain flips the server into drain mode: every query from now on is
+// shed with ErrDraining (and /readyz reports not-ready, so load balancers
+// stop routing here) while queued and in-flight requests complete. It is
+// the first step of graceful shutdown and is never undone.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until no request is queued or in flight, or until ctx
+// expires (returning its error with work still pending). Call StartDrain
+// first; otherwise new arrivals can keep the server busy indefinitely.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inFlight.Load() == 0 && s.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // SnapshotVersion returns the version of the snapshot currently serving.
@@ -265,6 +374,12 @@ type Response struct {
 	// and the weighted partition scan.
 	PickMs float64 `json:"pick_ms"`
 	ScanMs float64 `json:"scan_ms"`
+	// Degraded reports that quarantined partitions were excluded from the
+	// scan: the answer honestly covers less data than the picker chose.
+	// SkippedParts lists the excluded partition ids. Absent (false/empty)
+	// on healthy responses.
+	Degraded     bool  `json:"degraded,omitempty"`
+	SkippedParts []int `json:"skipped_parts,omitempty"`
 }
 
 // Group is one group's aggregate values under its human-readable label.
@@ -276,13 +391,19 @@ type Group struct {
 // QuerySQL parses SQL text, executes it at the budget fraction (0 = the
 // server default) and returns the transport-shaped response.
 func (s *Server) QuerySQL(sqlText string, budget float64) (*Response, error) {
+	return s.QuerySQLCtx(context.Background(), sqlText, budget)
+}
+
+// QuerySQLCtx is QuerySQL under the caller's context (the HTTP layer
+// passes the request context, so a disconnected client cancels its scan).
+func (s *Server) QuerySQLCtx(ctx context.Context, sqlText string, budget float64) (*Response, error) {
 	q, _, err := sql.Parse(sqlText)
 	if err != nil {
 		s.requests.Add(1)
 		s.failures.Add(1)
 		return nil, err
 	}
-	return s.Query(q, budget)
+	return s.QueryCtx(ctx, q, budget)
 }
 
 // Query executes q at the budget fraction (0 = the server default). The
@@ -291,8 +412,58 @@ func (s *Server) QuerySQL(sqlText string, budget float64) (*Response, error) {
 // byte-identical selection a cold pick would compute, because picking is
 // deterministic per (seed, query text, budget).
 func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
+	return s.QueryCtx(context.Background(), q, budget)
+}
+
+// admit acquires an in-flight slot under the admission policy: immediate
+// grant when a slot is free; otherwise the request queues, bounded by
+// MaxQueue (beyond it, ErrShed) and by the context (deadline or
+// disconnect while queued returns ctx.Err()). The returned release
+// function must be called exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	release = func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return release, nil
+	default:
+	}
+	if max := int64(s.cfg.MaxQueue); max >= 0 && s.queued.Load() >= max {
+		return nil, ErrShed
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// QueryCtx is Query under a context: the deadline (the caller's, tightened
+// by Config.RequestTimeout) is observed while queued for admission and
+// between partitions during the scan. Degraded answers — quarantined
+// partitions dropped by core's degradation loop — are declared in the
+// response, never silent. Shed and deadline outcomes are counted
+// separately from other failures in the metrics.
+func (s *Server) QueryCtx(ctx context.Context, q *query.Query, budget float64) (*Response, error) {
 	start := time.Now()
 	s.requests.Add(1)
+	if s.draining.Load() {
+		s.failures.Add(1)
+		s.sheds.Add(1)
+		return nil, ErrDraining
+	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	if budget <= 0 {
 		budget = s.cfg.DefaultBudget
 	}
@@ -304,17 +475,17 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 		return nil, err
 	}
 
-	// Bound in-flight work: a burst beyond MaxInFlight queues here. Picking
-	// (cached or not) and scanning both count against the bound. The release
-	// is deferred so a panic during evaluation (recovered per request by
-	// net/http) can't leak the slot and wedge the server.
+	// Bound in-flight work: a burst beyond MaxInFlight queues here, bounded
+	// by MaxQueue and the deadline. Picking (cached or not) and scanning
+	// both count against the bound. The release is deferred so a panic
+	// during evaluation (recovered per request by net/http) can't leak the
+	// slot and wedge the server.
 	res, pickHit, err := func() (*core.Result, bool, error) {
-		s.sem <- struct{}{}
-		s.inFlight.Add(1)
-		defer func() {
-			s.inFlight.Add(-1)
-			<-s.sem
-		}()
+		release, err := s.admit(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
 		n := st.sys.PartsForBudget(budget)
 		var pickStats picker.PickStats
 		pick := func() ([]query.WeightedPartition, error) {
@@ -334,7 +505,7 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		res, err := st.sys.RunSelection(c, sel)
+		res, err := st.sys.RunSelectionCtx(ctx, c, sel)
 		if err != nil {
 			return nil, false, err
 		}
@@ -346,7 +517,16 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 
 	if err != nil {
 		s.failures.Add(1)
+		switch {
+		case errors.Is(err, ErrShed) || errors.Is(err, ErrDraining):
+			s.sheds.Add(1)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.deadlines.Add(1)
+		}
 		return nil, err
+	}
+	if res.Degraded {
+		s.degraded.Add(1)
 	}
 	lat := time.Since(start)
 	s.latencyNs.Add(int64(lat))
@@ -366,6 +546,8 @@ func (s *Server) Query(q *query.Query, budget float64) (*Response, error) {
 		LatencyMs:       float64(lat) / float64(time.Millisecond),
 		PickMs:          float64(res.PickTime) / float64(time.Millisecond),
 		ScanMs:          float64(res.ScanTime) / float64(time.Millisecond),
+		Degraded:        res.Degraded,
+		SkippedParts:    res.SkippedParts,
 	}
 	for _, a := range q.Aggs {
 		resp.Aggs = append(resp.Aggs, a.String())
@@ -439,7 +621,22 @@ type Metrics struct {
 	CacheLen    int   `json:"cache_len"`
 	PartsRead   int64 `json:"parts_read"`
 	InFlight    int64 `json:"in_flight"`
+	Queued      int64 `json:"queued"`
 	Swaps       int64 `json:"swaps"`
+	// Sheds counts requests rejected by admission control (queue full or
+	// draining); Deadlines counts requests that missed their deadline or
+	// were cancelled — queued or mid-scan. Both are included in Failures.
+	Sheds     int64 `json:"sheds"`
+	Deadlines int64 `json:"deadlines"`
+	// Degraded counts successful responses that carried degraded: true
+	// (quarantined partitions excluded from the scan).
+	Degraded int64 `json:"degraded"`
+	// Draining reports drain mode (shutting down, shedding new queries);
+	// ReadOnly reports a poisoned write path (appends 503, queries fine),
+	// with the cause in ReadOnlyReason.
+	Draining       bool   `json:"draining,omitempty"`
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
 	// SnapshotVersion is the currently installed snapshot's version.
 	SnapshotVersion int64 `json:"snapshot_version"`
 	// Appends / AppendFailures / AppendedRows / AvgAppendMs count live
@@ -472,6 +669,11 @@ type Metrics struct {
 	// fully-resident systems): compression ratio and how many encoded
 	// columns had to be materialized anyway.
 	StoreEncoding *store.EncodingStats `json:"store_encoding,omitempty"`
+	// StoreHealth carries the source's quarantine state when it reports one
+	// (paged stores and ingest's multi-segment source): fenced partitions
+	// and corrupt-load retries. Nil when the source offers no health
+	// report; zero-valued when healthy.
+	StoreHealth *store.HealthStats `json:"store_health,omitempty"`
 	// EncodedKernelEvals counts predicate clauses evaluated directly on
 	// encoded columns (process-wide) — the work the encodings let scans
 	// skip.
@@ -489,7 +691,12 @@ func (s *Server) Stats() Metrics {
 		CacheLen:    s.CacheLen(),
 		PartsRead:   s.partsRead.Load(),
 		InFlight:    s.inFlight.Load(),
+		Queued:      s.queued.Load(),
 		Swaps:       s.swaps.Load(),
+		Sheds:       s.sheds.Load(),
+		Deadlines:   s.deadlines.Load(),
+		Degraded:    s.degraded.Load(),
+		Draining:    s.draining.Load(),
 
 		SnapshotVersion: st.version,
 		Appends:         s.appends.Load(),
@@ -521,6 +728,11 @@ func (s *Server) Stats() Metrics {
 		est := es.EncodingStats()
 		m.StoreEncoding = &est
 	}
+	if hs, ok := st.sys.Source.(interface{ Health() store.HealthStats }); ok {
+		h := hs.Health()
+		m.StoreHealth = &h
+	}
+	m.ReadOnly, m.ReadOnlyReason = s.ReadOnly()
 	m.EncodedKernelEvals = query.EncodedKernelEvals()
 	return m
 }

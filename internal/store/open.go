@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 
+	"ps3/internal/fault"
 	"ps3/internal/table"
 )
 
@@ -67,7 +67,13 @@ func (o *OpenedTable) Materialize() (*table.Table, error) {
 // shared by ps3gen, ps3train and ps3serve: old files keep working, new
 // files open paged. opts applies only to the paged format.
 func OpenTableFile(path string, opts Options) (*OpenedTable, error) {
-	f, err := os.Open(path)
+	return OpenTableFileFS(fault.OS, path, opts)
+}
+
+// OpenTableFileFS is OpenTableFile over an explicit filesystem seam
+// (ingest recovery reopens flushed segments through its injectable FS).
+func OpenTableFileFS(fsys fault.FS, path string, opts Options) (*OpenedTable, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// errCorruptBlock marks a block-load failure as data corruption — a CRC
+// mismatch or a structural decode failure on bytes that matched their
+// checksum — as opposed to a transient I/O error. Corruption is what the
+// quarantine machinery acts on: the bytes on disk are wrong, so retrying
+// forever would melt the read path for a partition that will never load.
+// Transient I/O errors are deliberately NOT marked: they stay retryable on
+// the next request (and the single-flight cache never caches errors).
+var errCorruptBlock = errors.New("corrupt block")
+
+// ErrQuarantined is the sentinel matched (via errors.Is) against errors
+// returned for partitions the reader has quarantined. The concrete error is
+// always a *QuarantineError carrying the partition index and root cause.
+var ErrQuarantined = errors.New("store: partition quarantined")
+
+// QuarantineError reports a read of a quarantined partition: the block
+// failed its CRC or decode twice in a row, so the reader has fenced it off.
+// Degraded-mode callers (core.RunSelectionCtx) use Part to drop the
+// partition from the selection and serve the rest with an explicit
+// degraded flag instead of a silent wrong answer.
+type QuarantineError struct {
+	Part int   // partition index within this reader
+	Err  error // the corruption error that triggered quarantine
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("store: partition %d quarantined: %v", e.Part, e.Err)
+}
+
+func (e *QuarantineError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrQuarantined) hold for every QuarantineError.
+func (e *QuarantineError) Is(target error) bool { return target == ErrQuarantined }
+
+// HealthStats is a reader's degradation report: which partitions are
+// fenced off and how many corrupt loads were retried. Zero values mean a
+// fully healthy reader.
+type HealthStats struct {
+	// QuarantinedParts lists quarantined partition indices in ascending
+	// order (source-local indices; multi-segment sources renumber).
+	QuarantinedParts []int `json:"quarantined_parts,omitempty"`
+	// CorruptRetries counts block loads that failed as corrupt and were
+	// retried. A retry that succeeds (transient bit-flip between the disk
+	// and the checksum) leaves the partition healthy.
+	CorruptRetries int64 `json:"corrupt_retries"`
+}
+
+// quarantineSet is the reader's fence: partitions whose blocks failed as
+// corrupt twice. Sticky for the life of the reader — snapshot swaps share
+// readers, so a quarantined partition stays quarantined across swaps until
+// the operator replaces the file.
+type quarantineSet struct {
+	mu    sync.RWMutex
+	parts map[int]error
+}
+
+// check returns the quarantine error for partition i, or nil.
+func (q *quarantineSet) check(i int) error {
+	q.mu.RLock()
+	cause, ok := q.parts[i]
+	q.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return &QuarantineError{Part: i, Err: cause}
+}
+
+// add fences partition i with the given root cause. First cause wins.
+func (q *quarantineSet) add(i int, cause error) {
+	q.mu.Lock()
+	if q.parts == nil {
+		q.parts = make(map[int]error)
+	}
+	if _, ok := q.parts[i]; !ok {
+		q.parts[i] = cause
+	}
+	q.mu.Unlock()
+}
+
+// list returns the fenced partition indices in ascending order.
+func (q *quarantineSet) list() []int {
+	q.mu.RLock()
+	out := make([]int, 0, len(q.parts))
+	for i := range q.parts {
+		out = append(out, i)
+	}
+	q.mu.RUnlock()
+	sort.Ints(out)
+	return out
+}

@@ -4,14 +4,15 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"sync/atomic"
 
 	"ps3/internal/exec"
+	"ps3/internal/fault"
 	"ps3/internal/table"
 )
 
@@ -67,6 +68,11 @@ type Reader struct {
 	// partition this reader has served.
 	decStats table.DecodeStats
 
+	// quarantine fences partitions whose blocks failed as corrupt twice;
+	// corruptRetries counts the retry attempts (see loadBlockRetry).
+	quarantine     quarantineSet
+	corruptRetries atomic.Int64
+
 	// Logical I/O accounting (see table.PartitionSource): every Read
 	// charges here, cache hit or not; the cache's own stats track the
 	// physical loads.
@@ -77,7 +83,14 @@ type Reader struct {
 // Open opens the store file at path. The returned Reader keeps the file
 // handle until Close.
 func Open(path string, o Options) (*Reader, error) {
-	f, err := os.Open(path)
+	return OpenFS(fault.OS, path, o)
+}
+
+// OpenFS is Open over an explicit filesystem seam. Production callers use
+// fault.OS (what Open passes); chaos tests hand in a fault.Injector so
+// block reads can be failed or corrupted on schedule.
+func OpenFS(fsys fault.FS, path string, o Options) (*Reader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -227,10 +240,13 @@ func (r *Reader) Read(i int) (*table.Partition, error) {
 	if i < 0 || i >= len(r.blocks) {
 		return nil, fmt.Errorf("store: partition %d out of range [0, %d)", i, len(r.blocks))
 	}
+	if err := r.quarantine.check(i); err != nil {
+		return nil, err
+	}
 	r.readCount.Add(1)
 	r.readBytes.Add(r.perRow * r.blocks[i].Rows)
 	return r.cache.get(i, func() (*table.Partition, int64, error) {
-		p, err := r.loadBlock(i)
+		p, err := r.loadBlockRetry(i)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -250,13 +266,18 @@ func (r *Reader) ReadUncached(i int) (*table.Partition, error) {
 	if i < 0 || i >= len(r.blocks) {
 		return nil, fmt.Errorf("store: partition %d out of range [0, %d)", i, len(r.blocks))
 	}
+	if err := r.quarantine.check(i); err != nil {
+		return nil, err
+	}
 	r.readCount.Add(1)
 	r.readBytes.Add(r.perRow * r.blocks[i].Rows)
-	return r.loadBlock(i)
+	return r.loadBlockRetry(i)
 }
 
 // loadBlock reads, checksums and decodes partition i from disk, bypassing
-// the cache.
+// the cache. Failures on bad bytes — CRC mismatch, or a decode error on
+// bytes that matched their checksum — are marked with errCorruptBlock;
+// read errors are not, so transient I/O stays retryable.
 func (r *Reader) loadBlock(i int) (*table.Partition, error) {
 	b := r.blocks[i]
 	data := make([]byte, b.Length)
@@ -264,12 +285,48 @@ func (r *Reader) loadBlock(i int) (*table.Partition, error) {
 		return nil, fmt.Errorf("store: read partition %d: %w", i, err)
 	}
 	if got := crc32.Checksum(data, crcTable); got != b.CRC {
-		return nil, fmt.Errorf("store: partition %d failed checksum: block CRC %08x, footer says %08x", i, got, b.CRC)
+		return nil, fmt.Errorf("store: partition %d failed checksum: block CRC %08x, footer says %08x: %w",
+			i, got, b.CRC, errCorruptBlock)
 	}
+	var p *table.Partition
+	var err error
 	if r.version == formatVersionEncoded {
-		return decodeBlockV2(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows), &r.decStats)
+		p, err = decodeBlockV2(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows), &r.decStats)
+	} else {
+		p, err = decodeBlock(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows))
 	}
-	return decodeBlock(data, r.schema, uint32(r.dict.Len()), i, int(b.Rows))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", err, errCorruptBlock)
+	}
+	return p, nil
+}
+
+// loadBlockRetry is loadBlock with the quarantine policy: a corrupt load
+// is retried once (the corruption may have happened between the platter
+// and the checksum, not on it); corrupt twice in a row quarantines the
+// partition so every later read fails fast with a *QuarantineError
+// instead of re-reading bytes that will never verify. Transient I/O
+// errors pass through unmarked and unquarantined.
+func (r *Reader) loadBlockRetry(i int) (*table.Partition, error) {
+	p, err := r.loadBlock(i)
+	if err == nil || !errors.Is(err, errCorruptBlock) {
+		return p, err
+	}
+	r.corruptRetries.Add(1)
+	p, err = r.loadBlock(i)
+	if err == nil || !errors.Is(err, errCorruptBlock) {
+		return p, err
+	}
+	r.quarantine.add(i, err)
+	return nil, &QuarantineError{Part: i, Err: err}
+}
+
+// Health reports the reader's quarantine state.
+func (r *Reader) Health() HealthStats {
+	return HealthStats{
+		QuarantinedParts: r.quarantine.list(),
+		CorruptRetries:   r.corruptRetries.Load(),
+	}
 }
 
 // ResetIO clears the logical I/O counters.

@@ -7,8 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
+	"ps3/internal/fault"
 	"ps3/internal/table"
 )
 
@@ -103,7 +103,13 @@ func WriteFile(path string, t *table.Table) (int64, error) {
 
 // WriteFileWith is WriteFile with explicit options.
 func WriteFileWith(path string, t *table.Table, opts WriteOptions) (int64, error) {
-	f, err := os.Create(path)
+	return WriteFileFS(fault.OS, path, t, opts)
+}
+
+// WriteFileFS is WriteFileWith over an explicit filesystem seam, so chaos
+// tests can fail or tear the writes.
+func WriteFileFS(fsys fault.FS, path string, t *table.Table, opts WriteOptions) (int64, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,46 @@
+// Package testutil holds shared test-only helpers. Nothing here is
+// imported by production code.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the live goroutine count and registers a cleanup
+// that fails the test if the count has not settled back to the baseline
+// before the grace period ends. Call it first thing in any test that
+// exercises worker pools, servers, or shutdown paths:
+//
+//	func TestShutdown(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+//
+// The check polls rather than comparing instantaneously — goroutines
+// legitimately take a few scheduler ticks to unwind after a Wait returns —
+// and dumps all stacks on failure so the leaked goroutine is identifiable.
+// Tests using it must not run in parallel with tests that spawn background
+// goroutines, since the baseline is process-global.
+func VerifyNoLeaks(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d live after grace period, baseline %d\n%s", n, base, buf)
+	})
+}
